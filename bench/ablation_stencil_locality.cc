@@ -1,0 +1,59 @@
+/// Communication-locality ablation (extension): the near-neighbor
+/// stencil on the mesh.
+///
+/// The paper shows g's bisection-bandwidth derivation "fails to capture
+/// any communication locality resulting from mapping the application on
+/// to a specific network topology" (Section 7), using EP.  The stencil
+/// extension is the limiting case: with rows block-distributed, all
+/// communication is between mesh neighbors and essentially none crosses
+/// the bisection — so standard LogP+C contention should be maximally
+/// pessimistic, while the locality-aware (bisection-only) g usage should
+/// collapse toward the target.
+#include <cstdio>
+
+#include "core/figures.hh"
+
+namespace {
+
+using namespace absim;
+
+double
+run(core::RunConfig base, mach::MachineKind machine,
+    logp::GapPolicy policy, std::uint32_t procs, core::Metric metric)
+{
+    base.machine = machine;
+    base.gapPolicy = policy;
+    base.procs = procs;
+    return core::metricValue(core::runOne(base), metric);
+}
+
+} // namespace
+
+int
+main()
+{
+    core::RunConfig base;
+    base.app = "stencil";
+    base.params.n = 64;
+    base.topology = net::TopologyKind::Mesh2D;
+
+    std::printf("# Stencil (near-neighbor) on Mesh: contention overhead "
+                "(us, per-proc mean)\n");
+    std::printf("%6s %14s %18s %18s\n", "procs", "target",
+                "logp+c(single)", "logp+c(bisect)");
+    for (const std::uint32_t p : {2u, 4u, 8u, 16u, 32u}) {
+        const double target =
+            run(base, mach::MachineKind::Target, logp::GapPolicy::Single,
+                p, core::Metric::Contention);
+        const double single =
+            run(base, mach::MachineKind::LogPC, logp::GapPolicy::Single,
+                p, core::Metric::Contention);
+        const double bisect =
+            run(base, mach::MachineKind::LogPC,
+                logp::GapPolicy::BisectionOnly, p,
+                core::Metric::Contention);
+        std::printf("%6u %14.1f %18.1f %18.1f\n", p, target, single,
+                    bisect);
+    }
+    return 0;
+}

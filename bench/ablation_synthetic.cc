@@ -1,0 +1,59 @@
+/// Access-pattern ablation (extension, in the spirit of the authors'
+/// bandwidth-characterization companion paper, reference [26]).
+///
+/// Controlled microworkloads expose exactly when the bisection-bandwidth
+/// g is wrong: "neighbor" traffic (maximum communication locality) gets
+/// charged as if it crossed the bisection — the LogP+C contention blows
+/// up relative to the target — while "uniform" and "hotspot" traffic
+/// match g's assumptions much better.  The locality-aware gap policy
+/// repairs the neighbor case.
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+
+namespace {
+
+using namespace absim;
+
+double
+contention(const std::string &variant, mach::MachineKind machine,
+           logp::GapPolicy policy)
+{
+    core::RunConfig config;
+    config.app = "synthetic";
+    config.params.variant = variant;
+    config.machine = machine;
+    config.gapPolicy = policy;
+    config.topology = net::TopologyKind::Mesh2D;
+    config.procs = 16;
+    const auto profile = core::runOne(config);
+    return profile.meanContention() / 1000.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Synthetic access patterns on a 4x4 mesh, P=16: "
+                "contention overhead (us, per-proc mean)\n");
+    std::printf("%-10s %12s %18s %18s\n", "pattern", "target",
+                "logp+c(single)", "logp+c(bisect)");
+    for (const char *variant :
+         {"private", "neighbor", "uniform", "hotspot"}) {
+        const double target = contention(
+            variant, mach::MachineKind::Target, logp::GapPolicy::Single);
+        const double single = contention(
+            variant, mach::MachineKind::LogPC, logp::GapPolicy::Single);
+        const double bisect =
+            contention(variant, mach::MachineKind::LogPC,
+                       logp::GapPolicy::BisectionOnly);
+        std::printf("%-10s %12.1f %18.1f %18.1f\n", variant, target,
+                    single, bisect);
+    }
+    std::printf("\n# Reading: 'neighbor' is where the standard g is most\n"
+                "# pessimistic and where the locality-aware gate recovers\n"
+                "# the most; 'private' must be ~zero everywhere.\n");
+    return 0;
+}

@@ -1,0 +1,13 @@
+/// Figure 1: FFT on the fully connected network — latency overhead.
+/// Paper shape: LogP+C tracks the target closely (slightly pessimistic:
+/// L assumes full-size messages); plain LogP is ~4x (four 8-byte data
+/// items per 32-byte cache block).
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 1: FFT on Full: Latency", "fft",
+        absim::net::TopologyKind::Full, absim::core::Metric::Latency);
+}

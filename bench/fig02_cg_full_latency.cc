@@ -1,0 +1,10 @@
+/// Figure 2: CG on the fully connected network — latency overhead. Paper shape: LogP+C tracks the target; plain LogP is far higher (no spatial/temporal locality on the irregular gather).
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 2: CG on Full: Latency", "cg",
+        absim::net::TopologyKind::Full, absim::core::Metric::Latency);
+}

@@ -1,0 +1,10 @@
+/// Figure 3: EP on Full — latency overhead. Paper shape: tiny absolute values; LogP inflated because every condition-variable poll is a remote reference.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 3: EP on Full: Latency", "ep",
+        absim::net::TopologyKind::Full, absim::core::Metric::Latency);
+}

@@ -1,0 +1,10 @@
+/// Figure 4: IS on Full — latency overhead. Paper shape: LogP+C close to target, slightly favored by ignoring coherence traffic.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 4: IS on Full: Latency", "is",
+        absim::net::TopologyKind::Full, absim::core::Metric::Latency);
+}

@@ -1,0 +1,10 @@
+/// Figure 5: CHOLESKY on Full — latency overhead. Paper shape: LogP+C close to target (optimistic side: no coherence traffic).
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 5: CHOLESKY on Full: Latency", "cholesky",
+        absim::net::TopologyKind::Full, absim::core::Metric::Latency);
+}

@@ -1,0 +1,10 @@
+/// Figure 6: IS on Full — contention overhead. Paper shape: similar trend, pessimistic absolute values from the bisection-bandwidth g.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 6: IS on Full: Contention", "is",
+        absim::net::TopologyKind::Full, absim::core::Metric::Contention);
+}

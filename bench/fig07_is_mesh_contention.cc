@@ -1,0 +1,10 @@
+/// Figure 7: IS on the 2-D mesh — contention overhead. Paper shape: pessimism grows as connectivity drops.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 7: IS on Mesh: Contention", "is",
+        absim::net::TopologyKind::Mesh2D, absim::core::Metric::Contention);
+}

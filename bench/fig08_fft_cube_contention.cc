@@ -1,0 +1,10 @@
+/// Figure 8: FFT on the hypercube — contention overhead (the configuration revisited by the Section 7 g-usage ablation).
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 8: FFT on Cube: Contention", "fft",
+        absim::net::TopologyKind::Hypercube, absim::core::Metric::Contention);
+}

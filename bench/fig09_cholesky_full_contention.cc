@@ -1,0 +1,10 @@
+/// Figure 9: CHOLESKY on Full — contention overhead.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 9: CHOLESKY on Full: Contention", "cholesky",
+        absim::net::TopologyKind::Full, absim::core::Metric::Contention);
+}

@@ -1,0 +1,10 @@
+/// Figure 10: EP on Full — contention overhead. Paper shape: large disparity; EP's communication locality makes g very pessimistic, even changing the trend.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 10: EP on Full: Contention", "ep",
+        absim::net::TopologyKind::Full, absim::core::Metric::Contention);
+}

@@ -1,0 +1,10 @@
+/// Figure 11: EP on the mesh — contention overhead; the amplified pessimism of Figure 10.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 11: EP on Mesh: Contention", "ep",
+        absim::net::TopologyKind::Mesh2D, absim::core::Metric::Contention);
+}

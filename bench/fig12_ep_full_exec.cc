@@ -1,0 +1,10 @@
+/// Figure 12: EP on Full — execution time. Paper shape: all three machines agree (computation dominates).
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 12: EP on Full: Execution Time", "ep",
+        absim::net::TopologyKind::Full, absim::core::Metric::ExecTime);
+}

@@ -1,0 +1,10 @@
+/// Figure 13: FFT on the mesh — execution time. Paper shape: LogP separates from LogP+C on the lowest-connectivity network.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 13: FFT on Mesh: Execution Time", "fft",
+        absim::net::TopologyKind::Mesh2D, absim::core::Metric::ExecTime);
+}

@@ -1,0 +1,10 @@
+/// Figure 14: IS on Full — execution time. Paper shape: pronounced LogP-vs-LogP+C gap on every network.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 14: IS on Full: Execution Time", "is",
+        absim::net::TopologyKind::Full, absim::core::Metric::ExecTime);
+}

@@ -1,0 +1,10 @@
+/// Figure 15: CG on Full — execution time. Paper shape: large gap; locality of the dynamic gather cannot be ignored.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 15: CG on Full: Execution Time", "cg",
+        absim::net::TopologyKind::Full, absim::core::Metric::ExecTime);
+}

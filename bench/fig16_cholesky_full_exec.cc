@@ -1,0 +1,10 @@
+/// Figure 16: CHOLESKY on Full — execution time. Paper shape: large LogP gap for the dynamic application.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 16: CHOLESKY on Full: Execution Time", "cholesky",
+        absim::net::TopologyKind::Full, absim::core::Metric::ExecTime);
+}

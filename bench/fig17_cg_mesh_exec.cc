@@ -1,0 +1,10 @@
+/// Figure 17: CG on the mesh — execution time. Paper shape: the LogP curve no longer even follows the target's shape.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 17: CG on Mesh: Execution Time", "cg",
+        absim::net::TopologyKind::Mesh2D, absim::core::Metric::ExecTime);
+}

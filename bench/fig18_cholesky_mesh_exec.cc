@@ -1,0 +1,10 @@
+/// Figure 18: CHOLESKY on the mesh — execution time. Paper shape: LogP shape lost, driven by mesh contention.
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 18: CHOLESKY on Mesh: Execution Time", "cholesky",
+        absim::net::TopologyKind::Mesh2D, absim::core::Metric::ExecTime);
+}

@@ -1,0 +1,10 @@
+/// Figure 19: CG on the mesh — contention overhead (explains Figure 17).
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 19: CG on Mesh: Contention", "cg",
+        absim::net::TopologyKind::Mesh2D, absim::core::Metric::Contention);
+}

@@ -1,0 +1,10 @@
+/// Figure 20: CHOLESKY on the mesh — contention overhead (explains Figure 18).
+#include "fig_common.hh"
+
+int
+main()
+{
+    return absim::bench::runFigureMain(
+        "Figure 20: CHOLESKY on Mesh: Contention", "cholesky",
+        absim::net::TopologyKind::Mesh2D, absim::core::Metric::Contention);
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared main() body for the per-figure bench binaries.
+ *
+ * Every figure bench sweeps P over the paper's processor counts for one
+ * (application, topology, metric) combination and prints the three
+ * machine curves.  Environment knobs:
+ *   ABSIM_MAX_PROCS  cap the sweep (default 32)
+ *   ABSIM_SIZE       override the app problem size
+ *   ABSIM_CSV_DIR    additionally write <dir>/<app>_<net>_<metric>.csv
+ */
+
+#ifndef ABSIM_BENCH_FIG_COMMON_HH
+#define ABSIM_BENCH_FIG_COMMON_HH
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/figures.hh"
+
+namespace absim::bench {
+
+inline int
+runFigureMain(const std::string &title, const std::string &app,
+              net::TopologyKind topology, core::Metric metric)
+{
+    core::RunConfig base;
+    base.app = app;
+    if (const char *size = std::getenv("ABSIM_SIZE"))
+        base.params.n = std::strtoull(size, nullptr, 10);
+
+    std::uint32_t max_procs = 32;
+    if (const char *cap = std::getenv("ABSIM_MAX_PROCS"))
+        max_procs = static_cast<std::uint32_t>(std::atoi(cap));
+
+    std::vector<std::uint32_t> procs;
+    for (const std::uint32_t p : core::defaultProcCounts())
+        if (p <= max_procs)
+            procs.push_back(p);
+
+    const core::Figure figure =
+        core::sweepFigure(title, base, topology, metric, procs);
+    core::printFigure(std::cout, figure);
+
+    if (const char *dir = std::getenv("ABSIM_CSV_DIR")) {
+        const std::string path = std::string(dir) + "/" + app + "_" +
+                                 net::toString(topology) + "_" +
+                                 core::toString(metric) + ".csv";
+        std::ofstream csv(path);
+        if (csv)
+            core::writeFigureCsv(csv, figure);
+        else
+            std::cerr << "warning: cannot write " << path << "\n";
+    }
+    return 0;
+}
+
+} // namespace absim::bench
+
+#endif // ABSIM_BENCH_FIG_COMMON_HH

@@ -1,0 +1,115 @@
+/// Section 7 "Speed of Simulation" table: wall-clock cost of simulating
+/// the same parallel system on the three machine characterizations.
+///
+/// Paper result: the LogP+C simulation is ~25-30% faster than the detailed
+/// target simulation, while the plain LogP simulation is *slower* than the
+/// target (ignoring locality turns cache hits into network events).
+///
+/// Reported with google-benchmark (one row per app x machine) plus a
+/// derived speed-ratio summary.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/experiment.hh"
+
+namespace {
+
+using absim::core::RunConfig;
+using absim::core::runOne;
+using absim::mach::MachineKind;
+
+RunConfig
+configFor(const std::string &app, MachineKind machine)
+{
+    RunConfig config;
+    config.app = app;
+    config.machine = machine;
+    config.topology = absim::net::TopologyKind::Full;
+    config.procs = 8;
+    config.checkResult = false; // Time the simulation, not the checker.
+    // EP's default run is sub-millisecond to *simulate*; scale it up so
+    // the wall-clock ratio is not noise-dominated.  (Its condition-
+    // variable spinning is the paper's example of LogP simulating
+    // slower than the target.)
+    if (app == "ep")
+        config.params.n = 262144;
+    return config;
+}
+
+// Events dispatched per run, recorded as a counter: the machine-neutral
+// simulation-cost metric (wall time depends on the host).
+void
+simBenchmark(benchmark::State &state, const std::string &app,
+             MachineKind machine)
+{
+    const RunConfig config = configFor(app, machine);
+    std::uint64_t events = 0;
+    std::uint64_t messages = 0;
+    for (auto _ : state) {
+        const auto profile = runOne(config);
+        events = profile.engineEvents;
+        messages = profile.machine.messages;
+        benchmark::DoNotOptimize(events);
+    }
+    state.counters["events"] = static_cast<double>(events);
+    state.counters["messages"] = static_cast<double>(messages);
+}
+
+void
+registerAll()
+{
+    const std::map<MachineKind, std::string> machines = {
+        {MachineKind::Target, "target"},
+        {MachineKind::LogP, "logp"},
+        {MachineKind::LogPC, "logp+c"},
+    };
+    for (const std::string app : {"fft", "is", "cg", "cholesky", "ep"}) {
+        for (const auto &[kind, label] : machines) {
+            benchmark::RegisterBenchmark(
+                ("sim/" + app + "/" + label).c_str(),
+                [app, kind = kind](benchmark::State &state) {
+                    simBenchmark(state, app, kind);
+                })
+                ->Unit(benchmark::kMillisecond)
+                ->Iterations(2);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Derived summary: simulation speed of the abstractions relative to
+    // the detailed target machine (>1 means faster than target).
+    // Best-of-3 wall times resist scheduling noise.
+    std::printf("\n# Simulation speed relative to the target machine "
+                "(wall-clock, best of 3)\n");
+    std::printf("%-10s %14s %14s\n", "app", "logp", "logp+c");
+    for (const std::string app : {"fft", "is", "cg", "cholesky", "ep"}) {
+        double wall[3] = {0, 0, 0};
+        int idx = 0;
+        for (const MachineKind kind :
+             {MachineKind::Target, MachineKind::LogP,
+              MachineKind::LogPC}) {
+            double best = 1e30;
+            for (int rep = 0; rep < 3; ++rep)
+                best = std::min(best,
+                                runOne(configFor(app, kind)).wallSeconds);
+            wall[idx++] = best;
+        }
+        std::printf("%-10s %13.2fx %13.2fx\n", app.c_str(),
+                    wall[0] / wall[1], wall[0] / wall[2]);
+    }
+    return 0;
+}

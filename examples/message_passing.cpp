@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Message-passing platform demo: the same explicit-communication program
+ * on the detailed circuit-switched network and on the LogP abstraction.
+ *
+ * Two classic microkernels:
+ *  - ping-pong: round-trip time between two nodes (the direct analogue
+ *    of the LogP L parameter), and
+ *  - ring all-reduce: P partial sums circulated around a ring, with the
+ *    SPASM overhead split showing where each machine spends its time.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "machines/null_machine.hh"
+#include "msg/msg_world.hh"
+#include "runtime/shared.hh"
+
+using namespace absim;
+
+namespace {
+
+constexpr std::uint32_t kProcs = 8;
+constexpr int kRounds = 16;
+
+void
+runPlatform(const char *label, bool logp)
+{
+    sim::EventQueue eq;
+    rt::SharedHeap heap(kProcs);
+    mach::NullMachine machine(kProcs, heap);
+    std::unique_ptr<msg::Transport> transport;
+    if (logp)
+        transport = std::make_unique<msg::LogPTransport>(
+            eq, net::TopologyKind::Hypercube, kProcs);
+    else
+        transport = std::make_unique<msg::DetailedTransport>(
+            eq, net::TopologyKind::Hypercube, kProcs);
+    msg::MsgWorld world(eq, *transport, kProcs);
+    rt::Runtime runtime(eq, machine, kProcs);
+
+    sim::Tick pingpong_ns = 0;
+    double allreduce_result = 0.0;
+
+    runtime.spawn([&](rt::Proc &p) {
+        // --- ping-pong between nodes 0 and 1 --------------------------
+        if (p.node() == 0) {
+            const sim::Tick began = p.localTime();
+            for (int i = 0; i < kRounds; ++i) {
+                world.sendValue<std::uint32_t>(p, 1, 0, i);
+                world.recvValue<std::uint32_t>(p, 1, 1);
+            }
+            pingpong_ns = (p.localTime() - began) / kRounds;
+        } else if (p.node() == 1) {
+            for (int i = 0; i < kRounds; ++i) {
+                const auto v = world.recvValue<std::uint32_t>(p, 0, 0);
+                world.sendValue<std::uint32_t>(p, 0, 1, v);
+            }
+        }
+
+        // --- ring all-reduce over all nodes ---------------------------
+        const std::uint32_t n = p.procs();
+        const net::NodeId next = (p.node() + 1) % n;
+        const net::NodeId prev = (p.node() + n - 1) % n;
+        const double mine = 1.0 + p.node();
+        p.compute(200); // Local reduction work.
+        double sum = mine;
+        if (p.node() == 0) {
+            world.sendValue<double>(p, next, 2, sum);
+            sum = world.recvValue<double>(p, prev, 2);
+            // Broadcast the total back around.
+            world.sendValue<double>(p, next, 3, sum);
+            world.recvValue<double>(p, prev, 3);
+            allreduce_result = sum;
+        } else {
+            sum = world.recvValue<double>(p, prev, 2) + mine;
+            world.sendValue<double>(p, next, 2, sum);
+            const double total = world.recvValue<double>(p, prev, 3);
+            world.sendValue<double>(p, next, 3, total);
+        }
+    });
+    runtime.run();
+
+    const auto profile = runtime.collect();
+    double wait = 0.0;
+    for (const auto &s : profile.procs)
+        wait += static_cast<double>(s.wait);
+    std::printf("%-9s ping-pong RTT %6.2f us | allreduce sum %.0f, "
+                "makespan %7.2f us, mean idle-wait %7.2f us, %llu msgs\n",
+                label, pingpong_ns / 1000.0, allreduce_result,
+                profile.execTime() / 1000.0,
+                wait / kProcs / 1000.0,
+                static_cast<unsigned long long>(world.messagesSent()));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Message-passing platform on an 8-node hypercube\n\n");
+    runPlatform("detailed", false);
+    runPlatform("logp", true);
+    std::printf(
+        "\nExpected: 4-byte ping-pong RTT ~0.4 us on the detailed serial\n"
+        "network vs ~2L + 2g = 6.4 us under LogP: L charges every message\n"
+        "as a full 32-byte transfer ('L pessimistic for shorter\n"
+        "messages'), and the single-gate g delays each receive->send\n"
+        "turnaround - the very pessimism the paper's Section 7 ablation\n"
+        "relaxes.\n");
+    return 0;
+}

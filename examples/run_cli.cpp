@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Command-line driver exposing every knob of the experiment driver: run
+ * one (app, machine, topology, P) combination and dump the full SPASM
+ * profile.  The closest thing to SPASM's own command line.
+ *
+ *   run_cli --app cg --machine target --topo mesh --procs 16 \
+ *           --size 512 --iters 5 --cache-kb 64 --policy single
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+
+using namespace absim;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --app NAME       ep|is|cg|cholesky|fft|stencil (default fft)\n"
+        "  --machine KIND   target|logp|logp+c (default target)\n"
+        "  --topo NAME      full|cube|mesh (default full)\n"
+        "  --procs P        power of two <= 64 (default 8)\n"
+        "  --size N         problem size (default: app-specific)\n"
+        "  --iters K        iteration count where applicable\n"
+        "  --seed S         workload seed (default 12345)\n"
+        "  --policy NAME    single|per-direction|bisection (default "
+        "single)\n"
+        "  --protocol NAME  berkeley|msi (target machine; default "
+        "berkeley)\n"
+        "  --cache-kb KB    cache size per node (default 64)\n"
+        "  --no-check       skip result validation\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    core::RunConfig config;
+    const char *argv0 = argv[0];
+
+    auto next = [&](int &i) -> const char * {
+        if (++i >= argc)
+            usage(argv0);
+        return argv[i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--app") {
+            config.app = next(i);
+        } else if (arg == "--machine") {
+            const std::string v = next(i);
+            if (v == "target")
+                config.machine = mach::MachineKind::Target;
+            else if (v == "logp")
+                config.machine = mach::MachineKind::LogP;
+            else if (v == "logp+c" || v == "logpc")
+                config.machine = mach::MachineKind::LogPC;
+            else
+                usage(argv0);
+        } else if (arg == "--topo") {
+            const std::string v = next(i);
+            if (v == "full")
+                config.topology = net::TopologyKind::Full;
+            else if (v == "cube")
+                config.topology = net::TopologyKind::Hypercube;
+            else if (v == "mesh")
+                config.topology = net::TopologyKind::Mesh2D;
+            else
+                usage(argv0);
+        } else if (arg == "--procs") {
+            config.procs =
+                static_cast<std::uint32_t>(std::atoi(next(i)));
+        } else if (arg == "--size") {
+            config.params.n = std::strtoull(next(i), nullptr, 10);
+        } else if (arg == "--iters") {
+            config.params.iterations =
+                static_cast<std::uint32_t>(std::atoi(next(i)));
+        } else if (arg == "--seed") {
+            config.params.seed = std::strtoull(next(i), nullptr, 10);
+        } else if (arg == "--policy") {
+            const std::string v = next(i);
+            if (v == "single")
+                config.gapPolicy = logp::GapPolicy::Single;
+            else if (v == "per-direction")
+                config.gapPolicy = logp::GapPolicy::PerDirection;
+            else if (v == "bisection")
+                config.gapPolicy = logp::GapPolicy::BisectionOnly;
+            else
+                usage(argv0);
+        } else if (arg == "--protocol") {
+            const std::string v = next(i);
+            if (v == "berkeley")
+                config.protocol = mach::ProtocolKind::Berkeley;
+            else if (v == "msi")
+                config.protocol = mach::ProtocolKind::Msi;
+            else
+                usage(argv0);
+        } else if (arg == "--cache-kb") {
+            config.cache.bytes =
+                static_cast<std::uint32_t>(std::atoi(next(i))) * 1024;
+        } else if (arg == "--no-check") {
+            config.checkResult = false;
+        } else {
+            usage(argv0);
+        }
+    }
+
+    try {
+        const auto profile = core::runOne(config);
+        std::printf("app=%s machine=%s network=%s procs=%u\n",
+                    config.app.c_str(),
+                    mach::toString(config.machine).c_str(),
+                    net::toString(config.topology).c_str(), config.procs);
+        std::cout << profile;
+        std::printf("protocol: %llu read misses, %llu write misses, "
+                    "%llu upgrades, %llu invalidations, %llu writebacks\n",
+                    static_cast<unsigned long long>(
+                        profile.machine.readMisses),
+                    static_cast<unsigned long long>(
+                        profile.machine.writeMisses),
+                    static_cast<unsigned long long>(
+                        profile.machine.upgrades),
+                    static_cast<unsigned long long>(
+                        profile.machine.invalidations),
+                    static_cast<unsigned long long>(
+                        profile.machine.writebacks));
+        if (profile.remoteLatency.samples() > 0) {
+            std::printf(
+                "remote access time: mean %.2f us, ~p50 <= %.2f us, "
+                "~p99 <= %.2f us, max %.2f us (%llu samples)\n",
+                profile.remoteLatency.mean() / 1000.0,
+                profile.remoteLatency.approxQuantile(0.5) / 1000.0,
+                profile.remoteLatency.approxQuantile(0.99) / 1000.0,
+                profile.remoteLatency.max() / 1000.0,
+                static_cast<unsigned long long>(
+                    profile.remoteLatency.samples()));
+        }
+        const auto phases = profile.phaseSummary();
+        if (phases.size() > 1) {
+            std::printf("phases (summed over processors, us):\n");
+            for (const auto &phase : phases) {
+                std::printf("  %-12s busy %10.1f latency %10.1f "
+                            "contention %10.1f wait %10.1f\n",
+                            phase.name.c_str(), phase.busy / 1000.0,
+                            phase.latency / 1000.0,
+                            phase.contention / 1000.0,
+                            phase.wait / 1000.0);
+            }
+        }
+        std::printf("simulation: %.3f s wall, %llu events\n",
+                    profile.wallSeconds,
+                    static_cast<unsigned long long>(
+                        profile.engineEvents));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

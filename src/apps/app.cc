@@ -1,0 +1,50 @@
+#include "apps/app.hh"
+
+#include <stdexcept>
+
+#include "apps/cg.hh"
+#include "apps/cholesky.hh"
+#include "apps/ep.hh"
+#include "apps/fft.hh"
+#include "apps/is.hh"
+#include "apps/radix.hh"
+#include "apps/stencil.hh"
+#include "apps/synthetic.hh"
+
+namespace absim::apps {
+
+std::unique_ptr<App>
+makeApp(const std::string &name)
+{
+    if (name == "ep")
+        return std::make_unique<EpApp>();
+    if (name == "fft")
+        return std::make_unique<FftApp>();
+    if (name == "is")
+        return std::make_unique<IsApp>();
+    if (name == "cg")
+        return std::make_unique<CgApp>();
+    if (name == "cholesky")
+        return std::make_unique<CholeskyApp>();
+    if (name == "stencil")
+        return std::make_unique<StencilApp>();
+    if (name == "radix")
+        return std::make_unique<RadixApp>();
+    if (name == "synthetic")
+        return std::make_unique<SyntheticApp>();
+    throw std::invalid_argument("unknown application: " + name);
+}
+
+std::vector<std::string>
+appNames()
+{
+    return {"ep", "is", "cg", "cholesky", "fft"};
+}
+
+std::vector<std::string>
+extensionAppNames()
+{
+    return {"stencil", "radix", "synthetic"};
+}
+
+} // namespace absim::apps

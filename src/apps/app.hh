@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The application suite interface (paper Section 4).
+ *
+ * Five parallel scientific applications drive the study: EP, IS and CG
+ * from the NAS parallel benchmarks, CHOLESKY from SPLASH, and FFT.  Each
+ * is a *real* computation — the kernels produce verifiable numerical
+ * results — whose shared-memory references go through the simulated
+ * machine, exactly like SPASM's execution-driven applications.
+ *
+ * Lifecycle: construct -> setup() (allocate shared data, build inputs,
+ * deterministic under params.seed) -> every worker runs worker() ->
+ * check() validates the numerical result and throws on corruption.
+ */
+
+#ifndef ABSIM_APPS_APP_HH
+#define ABSIM_APPS_APP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/context.hh"
+#include "runtime/shared.hh"
+
+namespace absim::apps {
+
+/** Workload knobs common to all applications. */
+struct AppParams
+{
+    /**
+     * Main problem size; 0 selects the app's default.  Meaning per app:
+     * EP: random pairs; FFT: points; IS: keys; CG: matrix order;
+     * CHOLESKY: matrix order.
+     */
+    std::uint64_t n = 0;
+
+    /** Workload RNG seed (identical streams on every machine model). */
+    std::uint64_t seed = 12345;
+
+    /** Iteration count where applicable (CG). 0 selects the default. */
+    std::uint32_t iterations = 0;
+
+    /** App-specific variant selector (synthetic: access pattern). */
+    std::string variant;
+};
+
+/**
+ * One application of the suite.
+ */
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Allocate shared data and generate the input.  Runs natively (no
+     * simulated cost): it models the state of memory before the timed
+     * parallel section, like SPASM's untimed initialization.
+     */
+    virtual void setup(rt::Runtime &rt, rt::SharedHeap &heap,
+                       const AppParams &params) = 0;
+
+    /** Body of processor @p p; called once per worker process. */
+    virtual void worker(rt::Proc &p) = 0;
+
+    /**
+     * Validate the computed result against a native reference.
+     * @throws std::runtime_error on mismatch.
+     */
+    virtual void check() const = 0;
+};
+
+/**
+ * Instantiate an application by name ("ep", "fft", "is", "cg",
+ * "cholesky", plus the "stencil" extension).
+ * @throws std::invalid_argument for unknown names.
+ */
+std::unique_ptr<App> makeApp(const std::string &name);
+
+/** Names of the paper's five applications, in the paper's order. */
+std::vector<std::string> appNames();
+
+/** Additional applications beyond the paper's suite (Section 7's call
+ *  for a wider suite): the near-neighbor stencil and radix sort. */
+std::vector<std::string> extensionAppNames();
+
+} // namespace absim::apps
+
+#endif // ABSIM_APPS_APP_HH

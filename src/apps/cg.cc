@@ -1,0 +1,249 @@
+#include "apps/cg.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/rng.hh"
+
+namespace absim::apps {
+
+namespace {
+
+constexpr std::uint64_t kDefaultOrder = 512;
+constexpr std::uint32_t kDefaultIters = 6;
+constexpr std::uint32_t kOffDiagPerRow = 6;
+
+/** Cycle charge for one multiply-add of the 33 MHz FPU. */
+constexpr std::uint64_t kCyclesPerMacc = 3;
+
+} // namespace
+
+CgApp::Csr
+CgApp::makeMatrix(std::uint64_t n, std::uint64_t seed)
+{
+    sim::Rng rng(seed * 65537 + 3);
+    // Random symmetric pattern with diagonal dominance (=> SPD).
+    std::vector<std::map<std::uint32_t, double>> rows(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        for (std::uint32_t k = 0; k < kOffDiagPerRow / 2; ++k) {
+            const auto j = static_cast<std::uint32_t>(rng.below(n));
+            if (j == i)
+                continue;
+            const double v = -(0.01 + 0.99 * rng.uniform());
+            rows[i][j] += v;
+            rows[j][static_cast<std::uint32_t>(i)] += v;
+        }
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+        double mag = 0.0;
+        for (const auto &[j, v] : rows[i])
+            mag += std::abs(v);
+        rows[i][static_cast<std::uint32_t>(i)] = mag + 1.0;
+    }
+
+    Csr a;
+    a.n = n;
+    a.rowPtr.resize(n + 1, 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        a.rowPtr[i + 1] = a.rowPtr[i] + rows[i].size();
+        for (const auto &[j, v] : rows[i]) {
+            a.col.push_back(j);
+            a.val.push_back(v);
+        }
+    }
+    return a;
+}
+
+void
+CgApp::setup(rt::Runtime &rt, rt::SharedHeap &heap, const AppParams &params)
+{
+    n_ = params.n ? params.n : kDefaultOrder;
+    iters_ = params.iterations ? params.iterations : kDefaultIters;
+    seed_ = params.seed;
+    procs_ = rt.procs();
+    if (n_ % procs_ != 0)
+        throw std::invalid_argument("CG order must be divisible by P");
+
+    a_ = makeMatrix(n_, seed_);
+
+    x_ = rt::SharedArray<double>(heap, n_, rt::Placement::Blocked);
+    r_ = rt::SharedArray<double>(heap, n_, rt::Placement::Blocked);
+    pvec_ = rt::SharedArray<double>(heap, n_, rt::Placement::Blocked);
+    q_ = rt::SharedArray<double>(heap, n_, rt::Placement::Blocked);
+    aval_ = rt::SharedArray<double>(heap, a_.val.size(),
+                                    rt::Placement::Blocked);
+    acol_ = rt::SharedArray<std::uint32_t>(heap, a_.col.size(),
+                                           rt::Placement::Blocked);
+    partial_ = rt::SharedArray<double>(heap, procs_,
+                                       rt::Placement::OnNode, 0);
+    scalars_ = rt::SharedArray<double>(heap, 4, rt::Placement::OnNode, 0);
+    barrier_ = std::make_unique<rt::Barrier>(heap, procs_);
+
+    // b is random; x0 = 0 so r = p = b.
+    sim::Rng rng(seed_ * 104729 + 11);
+    for (std::uint64_t i = 0; i < n_; ++i) {
+        const double b = rng.uniform();
+        x_.raw(i) = 0.0;
+        r_.raw(i) = b;
+        pvec_.raw(i) = b;
+        q_.raw(i) = 0.0;
+    }
+    for (std::size_t k = 0; k < a_.val.size(); ++k) {
+        aval_.raw(k) = a_.val[k];
+        acol_.raw(k) = a_.col[k];
+    }
+}
+
+void
+CgApp::worker(rt::Proc &p)
+{
+    const std::uint32_t me = p.node();
+    const std::uint64_t chunk = n_ / procs_;
+    const std::uint64_t lo = me * chunk;
+    const std::uint64_t hi = lo + chunk;
+
+    auto reduce = [&](double local, std::uint32_t slot) -> double {
+        // All-reduce through the shared partial array; processor 0
+        // combines and publishes through the scalars block.
+        partial_.write(p, me, local);
+        barrier_->arrive(p);
+        if (me == 0) {
+            double sum = 0.0;
+            for (std::uint32_t k = 0; k < procs_; ++k)
+                sum += partial_.read(p, k);
+            p.compute(procs_ * kCyclesPerMacc);
+            scalars_.write(p, slot, sum);
+        }
+        barrier_->arrive(p);
+        return scalars_.read(p, slot);
+    };
+
+    // rho = r . r
+    double local = 0.0;
+    for (std::uint64_t i = lo; i < hi; ++i) {
+        const double ri = r_.read(p, i);
+        local += ri * ri;
+        p.compute(kCyclesPerMacc);
+    }
+    double rho = reduce(local, 0);
+
+    for (std::uint32_t it = 0; it < iters_; ++it) {
+        // q = A p  — the irregular gather of p[col].
+        p.beginPhase("spmv");
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            double s = 0.0;
+            for (std::uint64_t k = a_.rowPtr[i]; k < a_.rowPtr[i + 1];
+                 ++k) {
+                const std::uint32_t c = acol_.read(p, k);
+                const double v = aval_.read(p, k);
+                s += v * pvec_.read(p, c);
+                p.compute(kCyclesPerMacc);
+            }
+            q_.write(p, i, s);
+        }
+
+        // alpha = rho / (p . q)
+        p.beginPhase("dot");
+        local = 0.0;
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            local += pvec_.read(p, i) * q_.read(p, i);
+            p.compute(kCyclesPerMacc);
+        }
+        const double pq = reduce(local, 1);
+        const double alpha = rho / pq;
+
+        // x += alpha p ; r -= alpha q
+        p.beginPhase("axpy");
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            x_.write(p, i, x_.read(p, i) + alpha * pvec_.read(p, i));
+            r_.write(p, i, r_.read(p, i) - alpha * q_.read(p, i));
+            p.compute(2 * kCyclesPerMacc);
+        }
+
+        // rho_new = r . r ; beta = rho_new / rho
+        p.beginPhase("dot");
+        local = 0.0;
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            const double ri = r_.read(p, i);
+            local += ri * ri;
+            p.compute(kCyclesPerMacc);
+        }
+        const double rho_new = reduce(local, 2);
+        const double beta = rho_new / rho;
+        rho = rho_new;
+
+        // p = r + beta p
+        p.beginPhase("axpy");
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            pvec_.write(p, i, r_.read(p, i) + beta * pvec_.read(p, i));
+            p.compute(kCyclesPerMacc);
+        }
+        // Everyone must finish updating p before the next gather.
+        barrier_->arrive(p);
+    }
+}
+
+void
+CgApp::check() const
+{
+    // Native reference: the identical algorithm with the identical
+    // chunked summation order is bitwise-reproducible up to FP noise.
+    const Csr a = makeMatrix(n_, seed_);
+    sim::Rng rng(seed_ * 104729 + 11);
+    std::vector<double> x(n_, 0.0), r(n_), pv(n_), q(n_, 0.0);
+    for (std::uint64_t i = 0; i < n_; ++i) {
+        const double b = rng.uniform();
+        r[i] = b;
+        pv[i] = b;
+    }
+    const std::uint64_t chunk = n_ / procs_;
+    auto reduce = [&](auto term) {
+        double sum = 0.0;
+        for (std::uint32_t me = 0; me < procs_; ++me) {
+            double local = 0.0;
+            for (std::uint64_t i = me * chunk; i < (me + 1) * chunk; ++i)
+                local += term(i);
+            sum += local;
+        }
+        return sum;
+    };
+    double rho = reduce([&](std::uint64_t i) { return r[i] * r[i]; });
+    for (std::uint32_t it = 0; it < iters_; ++it) {
+        for (std::uint64_t i = 0; i < n_; ++i) {
+            double s = 0.0;
+            for (std::uint64_t k = a.rowPtr[i]; k < a.rowPtr[i + 1]; ++k)
+                s += a.val[k] * pv[a.col[k]];
+            q[i] = s;
+        }
+        const double pq =
+            reduce([&](std::uint64_t i) { return pv[i] * q[i]; });
+        const double alpha = rho / pq;
+        for (std::uint64_t i = 0; i < n_; ++i) {
+            x[i] += alpha * pv[i];
+            r[i] -= alpha * q[i];
+        }
+        const double rho_new =
+            reduce([&](std::uint64_t i) { return r[i] * r[i]; });
+        const double beta = rho_new / rho;
+        rho = rho_new;
+        for (std::uint64_t i = 0; i < n_; ++i)
+            pv[i] = r[i] + beta * pv[i];
+    }
+
+    double max_err = 0.0, scale = 1.0;
+    for (std::uint64_t i = 0; i < n_; ++i) {
+        max_err = std::max(max_err, std::abs(x_.raw(i) - x[i]));
+        scale = std::max(scale, std::abs(x[i]));
+    }
+    if (max_err > 1e-9 * scale) {
+        std::ostringstream msg;
+        msg << "CG solution error " << max_err << " exceeds tolerance";
+        throw std::runtime_error(msg.str());
+    }
+}
+
+} // namespace absim::apps

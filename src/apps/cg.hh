@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CG — the NAS conjugate-gradient kernel.
+ *
+ * Solves A x = b for a randomly structured sparse symmetric positive-
+ * definite matrix using a fixed number of CG iterations.  Rows are
+ * statically block-assigned to processors (the paper's "certain number
+ * of rows ... assigned at compile time"), but the sparse structure makes
+ * the gather of p[col] in the matrix-vector product *irregular and input
+ * dependent* — the communication cannot be optimized statically, which
+ * is why CG shows the big LogP-vs-LogP+C gaps of Figures 15/17.
+ *
+ * Dot products use a shared partial-sum array and barriers; the scalars
+ * (alpha, beta, rho) are written by processor 0 and read by everyone —
+ * classic producer-consumer sharing.
+ */
+
+#ifndef ABSIM_APPS_CG_HH
+#define ABSIM_APPS_CG_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/app.hh"
+#include "runtime/sync.hh"
+
+namespace absim::apps {
+
+class CgApp : public App
+{
+  public:
+    std::string name() const override { return "cg"; }
+    void setup(rt::Runtime &rt, rt::SharedHeap &heap,
+               const AppParams &params) override;
+    void worker(rt::Proc &p) override;
+    void check() const override;
+
+    /** Sparse matrix in CSR form (native; see DESIGN.md on read-only
+     *  program data). */
+    struct Csr
+    {
+        std::uint64_t n = 0;
+        std::vector<std::uint64_t> rowPtr;
+        std::vector<std::uint32_t> col;
+        std::vector<double> val;
+    };
+
+    /** Deterministic random sparse SPD matrix. */
+    static Csr makeMatrix(std::uint64_t n, std::uint64_t seed);
+
+  private:
+    std::uint64_t n_ = 0;
+    std::uint32_t iters_ = 0;
+    std::uint64_t seed_ = 0;
+    std::uint32_t procs_ = 0;
+
+    Csr a_;
+
+    // CG vectors, block-distributed by row.
+    rt::SharedArray<double> x_, r_, pvec_, q_;
+    // Sparse matrix in shared memory (read-only after setup).
+    rt::SharedArray<double> aval_;
+    rt::SharedArray<std::uint32_t> acol_;
+    // Reduction scratch: one slot per processor (padded to a block).
+    rt::SharedArray<double> partial_;
+    // Scalars: [0]=rho, [1]=alpha, [2]=beta, [3]=rho_new.
+    rt::SharedArray<double> scalars_;
+    std::unique_ptr<rt::Barrier> barrier_;
+};
+
+} // namespace absim::apps
+
+#endif // ABSIM_APPS_CG_HH

@@ -1,0 +1,242 @@
+#include "apps/cholesky.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/rng.hh"
+
+namespace absim::apps {
+
+namespace {
+
+constexpr std::uint64_t kDefaultOrder = 192;
+constexpr std::uint32_t kOffDiagPerCol = 4;
+constexpr std::uint64_t kCyclesPerMacc = 3;
+constexpr std::uint64_t kCyclesPerSqrtDiv = 20;
+
+} // namespace
+
+CholeskyApp::Symbolic
+CholeskyApp::makeProblem(std::uint64_t n, std::uint64_t seed)
+{
+    sim::Rng rng(seed * 292929 + 5);
+
+    // Random symmetric pattern, then force diagonal dominance => SPD.
+    std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+    for (std::uint64_t j = 0; j < n; ++j) {
+        for (std::uint32_t k = 0; k < kOffDiagPerCol; ++k) {
+            const auto i = static_cast<std::uint64_t>(rng.below(n));
+            if (i == j)
+                continue;
+            const double v = -(0.01 + 0.49 * rng.uniform());
+            a[i][j] += v;
+            a[j][i] += v;
+        }
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+        double mag = 0.0;
+        for (std::uint64_t j = 0; j < n; ++j)
+            mag += std::abs(a[i][j]);
+        a[i][i] = mag + 1.0;
+    }
+
+    // Fill pattern by simulated elimination on the boolean lower
+    // triangle: if L[k][j] and L[i][j] (i >= k > j) then L[i][k].
+    std::vector<std::vector<bool>> pat(n, std::vector<bool>(n, false));
+    for (std::uint64_t j = 0; j < n; ++j) {
+        pat[j][j] = true;
+        for (std::uint64_t i = j + 1; i < n; ++i)
+            if (a[i][j] != 0.0)
+                pat[i][j] = true;
+    }
+    for (std::uint64_t j = 0; j < n; ++j)
+        for (std::uint64_t k = j + 1; k < n; ++k)
+            if (pat[k][j])
+                for (std::uint64_t i = k; i < n; ++i)
+                    if (pat[i][j])
+                        pat[i][k] = true;
+
+    Symbolic sym;
+    sym.n = n;
+    sym.colPtr.assign(n + 1, 0);
+    sym.rowPos.assign(n, std::vector<std::int32_t>(n, -1));
+    sym.depCount.assign(n, 0);
+    sym.dense = a;
+    for (std::uint64_t j = 0; j < n; ++j) {
+        sym.colPtr[j + 1] = sym.colPtr[j];
+        for (std::uint64_t i = j; i < n; ++i) {
+            if (!pat[i][j])
+                continue;
+            sym.rowPos[j][i] =
+                static_cast<std::int32_t>(sym.rowIdx.size() -
+                                          sym.colPtr[j]);
+            sym.rowIdx.push_back(static_cast<std::uint32_t>(i));
+            sym.initial.push_back(a[i][j]);
+            ++sym.colPtr[j + 1];
+            if (i > j)
+                ++sym.depCount[i]; // cmod(i, j) will arrive.
+        }
+    }
+    return sym;
+}
+
+void
+CholeskyApp::setup(rt::Runtime &rt, rt::SharedHeap &heap,
+                   const AppParams &params)
+{
+    n_ = params.n ? params.n : kDefaultOrder;
+    seed_ = params.seed;
+    procs_ = rt.procs();
+
+    sym_ = makeProblem(n_, seed_);
+
+    val_ = rt::SharedArray<double>(heap, sym_.initial.size(),
+                                   rt::Placement::Interleaved);
+    dep_ = rt::SharedArray<std::uint64_t>(heap, n_,
+                                          rt::Placement::Interleaved);
+    queue_ = rt::SharedArray<std::int32_t>(heap, n_,
+                                           rt::Placement::Interleaved);
+    qHead_ = rt::SharedArray<std::uint64_t>(heap, 1,
+                                            rt::Placement::OnNode, 0);
+    qTail_ = rt::SharedArray<std::uint64_t>(heap, 1,
+                                            rt::Placement::OnNode, 0);
+    done_ = rt::SharedArray<std::uint64_t>(heap, 1, rt::Placement::OnNode,
+                                           0);
+    qLock_ = std::make_unique<rt::SpinLock>(heap, 0);
+    colLock_.clear();
+    for (std::uint64_t j = 0; j < n_; ++j)
+        colLock_.push_back(std::make_unique<rt::SpinLock>(
+            heap, static_cast<net::NodeId>(j % procs_)));
+
+    for (std::size_t k = 0; k < sym_.initial.size(); ++k)
+        val_.raw(k) = sym_.initial[k];
+    for (std::uint64_t j = 0; j < n_; ++j)
+        dep_.raw(j) = sym_.depCount[j];
+
+    // Seed the queue with the initially ready columns (no dependencies).
+    std::uint64_t tail = 0;
+    for (std::uint64_t j = 0; j < n_; ++j)
+        if (sym_.depCount[j] == 0)
+            queue_.raw(tail++) = static_cast<std::int32_t>(j);
+    qHead_.raw(0) = 0;
+    qTail_.raw(0) = tail;
+    done_.raw(0) = 0;
+}
+
+std::int32_t
+CholeskyApp::tryPop(rt::Proc &p)
+{
+    qLock_->lock(p);
+    const std::uint64_t head = qHead_.read(p, 0);
+    const std::uint64_t tail = qTail_.read(p, 0);
+    std::int32_t job = -1;
+    if (head < tail) {
+        job = queue_.read(p, head % n_);
+        qHead_.write(p, 0, head + 1);
+    }
+    qLock_->unlock(p);
+    return job;
+}
+
+void
+CholeskyApp::push(rt::Proc &p, std::uint32_t column)
+{
+    qLock_->lock(p);
+    const std::uint64_t tail = qTail_.read(p, 0);
+    queue_.write(p, tail % n_, static_cast<std::int32_t>(column));
+    qTail_.write(p, 0, tail + 1);
+    qLock_->unlock(p);
+}
+
+void
+CholeskyApp::worker(rt::Proc &p)
+{
+    rt::Backoff idle;
+    for (;;) {
+        p.beginPhase("schedule");
+        if (done_.read(p, 0) == n_)
+            return;
+        const std::int32_t job = tryPop(p);
+        if (job < 0) {
+            idle.pause(p);
+            continue;
+        }
+        idle = rt::Backoff{};
+        p.beginPhase("factor");
+        const auto j = static_cast<std::uint64_t>(job);
+        const std::uint64_t base = sym_.colPtr[j];
+        const std::uint64_t count = sym_.colPtr[j + 1] - base;
+
+        // cdiv(j): scale the column by the square root of its diagonal.
+        const double diag = val_.read(p, base);
+        const double root = std::sqrt(diag);
+        p.compute(kCyclesPerSqrtDiv);
+        val_.write(p, base, root);
+        std::vector<double> lcol(count);
+        lcol[0] = root;
+        for (std::uint64_t s = 1; s < count; ++s) {
+            const double v = val_.read(p, base + s) / root;
+            p.compute(kCyclesPerSqrtDiv);
+            val_.write(p, base + s, v);
+            lcol[s] = v;
+        }
+
+        // cmod(k, j) for every k in struct(j): right-looking updates.
+        for (std::uint64_t s = 1; s < count; ++s) {
+            const std::uint32_t k = sym_.rowIdx[base + s];
+            const double ljk = lcol[s];
+            colLock_[k]->lock(p);
+            for (std::uint64_t t = s; t < count; ++t) {
+                const std::uint32_t i = sym_.rowIdx[base + t];
+                const std::int32_t pos = sym_.rowPos[k][i];
+                assert(pos >= 0 && "fill closure violated");
+                const std::uint64_t slot =
+                    sym_.colPtr[k] + static_cast<std::uint64_t>(pos);
+                const double cur = val_.read(p, slot);
+                val_.write(p, slot, cur - lcol[t] * ljk);
+                p.compute(kCyclesPerMacc);
+            }
+            colLock_[k]->unlock(p);
+            // Column k has received one of its pending updates.
+            const std::uint64_t before =
+                dep_.fetchAdd(p, k, static_cast<std::uint64_t>(-1));
+            if (before == 1)
+                push(p, k);
+        }
+
+        done_.fetchAdd(p, 0, 1);
+    }
+}
+
+void
+CholeskyApp::check() const
+{
+    // Reconstruct dense L and verify L * L^T == A.
+    std::vector<std::vector<double>> l(n_, std::vector<double>(n_, 0.0));
+    for (std::uint64_t j = 0; j < n_; ++j)
+        for (std::uint64_t s = sym_.colPtr[j]; s < sym_.colPtr[j + 1];
+             ++s)
+            l[sym_.rowIdx[s]][j] = val_.raw(s);
+
+    double max_err = 0.0, scale = 1.0;
+    for (std::uint64_t i = 0; i < n_; ++i) {
+        for (std::uint64_t j = 0; j <= i; ++j) {
+            double s = 0.0;
+            for (std::uint64_t k = 0; k <= j; ++k)
+                s += l[i][k] * l[j][k];
+            max_err = std::max(max_err, std::abs(s - sym_.dense[i][j]));
+            scale = std::max(scale, std::abs(sym_.dense[i][j]));
+        }
+    }
+    if (max_err > 1e-8 * scale) {
+        std::ostringstream msg;
+        msg << "CHOLESKY reconstruction error " << max_err
+            << " exceeds tolerance";
+        throw std::runtime_error(msg.str());
+    }
+}
+
+} // namespace absim::apps

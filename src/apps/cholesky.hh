@@ -1,0 +1,80 @@
+/**
+ * @file
+ * CHOLESKY — sparse Cholesky factorization in the style of the SPLASH
+ * benchmark: a right-looking (fan-out) column factorization scheduled
+ * through a *dynamically maintained queue of runnable tasks* (paper
+ * Section 4).
+ *
+ * The symbolic factorization (fill pattern, dependency counts, elimination
+ * order) is computed natively during setup — it is static program
+ * structure.  The numeric factorization runs in the simulator: workers
+ * pop ready columns from a lock-protected shared queue, perform cdiv on
+ * the column, then apply cmod updates to every dependent column under
+ * per-column locks, decrementing dependency counters and enqueueing
+ * columns that become ready.  Accesses are input-dependent and cannot be
+ * optimized statically — CHOLESKY and CG are the paper's dynamic
+ * applications with the largest model gaps (Figures 16/18/20).
+ */
+
+#ifndef ABSIM_APPS_CHOLESKY_HH
+#define ABSIM_APPS_CHOLESKY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/app.hh"
+#include "runtime/sync.hh"
+
+namespace absim::apps {
+
+class CholeskyApp : public App
+{
+  public:
+    std::string name() const override { return "cholesky"; }
+    void setup(rt::Runtime &rt, rt::SharedHeap &heap,
+               const AppParams &params) override;
+    void worker(rt::Proc &p) override;
+    void check() const override;
+
+    /** Filled sparse lower-triangular pattern in column-compressed form
+     *  plus the dense original for checking. */
+    struct Symbolic
+    {
+        std::uint64_t n = 0;
+        std::vector<std::uint64_t> colPtr;   ///< n+1 entries.
+        std::vector<std::uint32_t> rowIdx;   ///< Ascending, diag first.
+        /** rowPos[j] maps row -> slot within column j. */
+        std::vector<std::vector<std::int32_t>> rowPos;
+        std::vector<std::uint32_t> depCount; ///< cmods targeting column.
+        std::vector<double> initial;         ///< A values (fill = 0).
+        std::vector<std::vector<double>> dense; ///< Original dense A.
+    };
+
+    /** Build a deterministic sparse SPD matrix and its filled pattern. */
+    static Symbolic makeProblem(std::uint64_t n, std::uint64_t seed);
+
+  private:
+    /** Pop the next ready column or -1 if the queue is empty. */
+    std::int32_t tryPop(rt::Proc &p);
+    void push(rt::Proc &p, std::uint32_t column);
+
+    std::uint64_t n_ = 0;
+    std::uint64_t seed_ = 0;
+    std::uint32_t procs_ = 0;
+
+    Symbolic sym_;
+
+    rt::SharedArray<double> val_;            ///< Numeric values (CCS).
+    rt::SharedArray<std::uint64_t> dep_;     ///< Remaining dependencies.
+    rt::SharedArray<std::int32_t> queue_;    ///< Ready-column ring.
+    rt::SharedArray<std::uint64_t> qHead_;
+    rt::SharedArray<std::uint64_t> qTail_;
+    rt::SharedArray<std::uint64_t> done_;    ///< Columns finished.
+    std::unique_ptr<rt::SpinLock> qLock_;
+    std::vector<std::unique_ptr<rt::SpinLock>> colLock_;
+};
+
+} // namespace absim::apps
+
+#endif // ABSIM_APPS_CHOLESKY_HH

@@ -1,0 +1,117 @@
+#include "apps/ep.hh"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/rng.hh"
+
+namespace absim::apps {
+
+namespace {
+
+constexpr std::uint64_t kDefaultPairs = 16384;
+
+/** Cycle charge per generated pair: two uniforms, the polar-method
+ *  rejection test, a log/sqrt, two multiplies and the annulus binning —
+ *  roughly a hundred 33 MHz FPU cycles. */
+constexpr std::uint64_t kCyclesPerPair = 100;
+
+/**
+ * Tally one processor's slice of pairs.  Shared by the simulated worker
+ * and the native reference so the streams match bit for bit.
+ */
+std::array<std::uint64_t, EpApp::kAnnuli>
+tallySlice(std::uint64_t seed, std::uint32_t proc, std::uint64_t count)
+{
+    std::array<std::uint64_t, EpApp::kAnnuli> counts{};
+    sim::Rng rng(seed * 1000003 + proc);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const double x = 2.0 * rng.uniform() - 1.0;
+        const double y = 2.0 * rng.uniform() - 1.0;
+        const double t = x * x + y * y;
+        if (t >= 1.0 || t == 0.0)
+            continue; // Polar-method rejection.
+        const double f = std::sqrt(-2.0 * std::log(t) / t);
+        const double gx = std::abs(f * x);
+        const double gy = std::abs(f * y);
+        const auto annulus =
+            static_cast<std::uint32_t>(std::max(gx, gy));
+        if (annulus < EpApp::kAnnuli)
+            ++counts[annulus];
+    }
+    return counts;
+}
+
+} // namespace
+
+void
+EpApp::setup(rt::Runtime &rt, rt::SharedHeap &heap, const AppParams &params)
+{
+    pairs_ = params.n ? params.n : kDefaultPairs;
+    seed_ = params.seed;
+    procs_ = rt.procs();
+
+    sums_ = rt::SharedArray<std::uint64_t>(heap, kAnnuli,
+                                           rt::Placement::OnNode, 0);
+    for (std::uint32_t a = 0; a < kAnnuli; ++a)
+        sums_.raw(a) = 0;
+    turn_ = std::make_unique<rt::Flag>(heap, 0);
+}
+
+void
+EpApp::worker(rt::Proc &p)
+{
+    const std::uint32_t me = p.node();
+    const std::uint64_t per = pairs_ / procs_;
+    const std::uint64_t mine =
+        per + (me == procs_ - 1 ? pairs_ % procs_ : 0);
+
+    // The embarrassingly parallel phase: all computation, no sharing.
+    p.beginPhase("generate");
+    const auto counts = tallySlice(seed_, me, mine);
+    p.compute(mine * kCyclesPerPair);
+
+    // Reduction chain (the paper's condition-variable idiom): wait until
+    // it is our turn, deposit, then signal the next processor.
+    p.beginPhase("reduce");
+    if (me > 0)
+        turn_->waitFor(p, me);
+    for (std::uint32_t a = 0; a < kAnnuli; ++a) {
+        const std::uint64_t cur = sums_.read(p, a);
+        sums_.write(p, a, cur + counts[a]);
+    }
+    turn_->set(p, me + 1);
+}
+
+std::array<std::uint64_t, EpApp::kAnnuli>
+EpApp::referenceCounts(std::uint64_t pairs, std::uint64_t seed,
+                       std::uint32_t procs)
+{
+    std::array<std::uint64_t, kAnnuli> total{};
+    const std::uint64_t per = pairs / procs;
+    for (std::uint32_t proc = 0; proc < procs; ++proc) {
+        const std::uint64_t mine =
+            per + (proc == procs - 1 ? pairs % procs : 0);
+        const auto counts = tallySlice(seed, proc, mine);
+        for (std::uint32_t a = 0; a < kAnnuli; ++a)
+            total[a] += counts[a];
+    }
+    return total;
+}
+
+void
+EpApp::check() const
+{
+    const auto expect = referenceCounts(pairs_, seed_, procs_);
+    for (std::uint32_t a = 0; a < kAnnuli; ++a) {
+        if (sums_.raw(a) != expect[a]) {
+            std::ostringstream msg;
+            msg << "EP annulus " << a << ": got " << sums_.raw(a)
+                << ", want " << expect[a];
+            throw std::runtime_error(msg.str());
+        }
+    }
+}
+
+} // namespace absim::apps

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * EP — the NAS "embarrassingly parallel" kernel.
+ *
+ * Each processor independently generates pseudo-random pairs, maps them
+ * through the Marsaglia polar method to Gaussian deviates and tallies
+ * them into ten concentric annuli.  Computation dominates communication
+ * by orders of magnitude (the paper's highest compute-to-communication
+ * ratio).  The only sharing is the final reduction, implemented as the
+ * paper's appendix describes: a chain of condition-variable waits —
+ * processor i spins on a shared flag until processor i-1 has deposited
+ * its partial sums.  On the cache-less LogP machine every spin iteration
+ * is a remote reference, which is exactly the latency inflation of
+ * Figure 3.
+ */
+
+#ifndef ABSIM_APPS_EP_HH
+#define ABSIM_APPS_EP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "apps/app.hh"
+#include "runtime/sync.hh"
+
+namespace absim::apps {
+
+class EpApp : public App
+{
+  public:
+    static constexpr std::uint32_t kAnnuli = 10;
+
+    std::string name() const override { return "ep"; }
+    void setup(rt::Runtime &rt, rt::SharedHeap &heap,
+               const AppParams &params) override;
+    void worker(rt::Proc &p) override;
+    void check() const override;
+
+    /** Native reference tally for @p pairs pairs under @p seed. */
+    static std::array<std::uint64_t, kAnnuli>
+    referenceCounts(std::uint64_t pairs, std::uint64_t seed,
+                    std::uint32_t procs);
+
+  private:
+    std::uint64_t pairs_ = 0;
+    std::uint64_t seed_ = 0;
+    std::uint32_t procs_ = 0;
+
+    /** Shared tally, ten annulus counters (written under the chain). */
+    rt::SharedArray<std::uint64_t> sums_;
+    /** Completion chain: holds the id of the next processor to deposit. */
+    std::unique_ptr<rt::Flag> turn_;
+};
+
+} // namespace absim::apps
+
+#endif // ABSIM_APPS_EP_HH

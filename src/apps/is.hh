@@ -1,0 +1,53 @@
+/**
+ * @file
+ * IS — the NAS integer-sort kernel (bucket-sort ranking).
+ *
+ * Keys are block-distributed.  Phase 1: each processor histograms its
+ * keys privately, then merges into the shared histogram under a striped
+ * set of spin locks (the mutual-exclusion locks the paper calls out for
+ * IS).  Phase 2: processor 0 turns the histogram into bucket offsets
+ * (the serial fraction).  Phase 3: every processor ranks its keys by
+ * atomically claiming slots (fetch&add on the shared offsets) and
+ * scatters them into the output array.  Communication is regular but
+ * substantially heavier than FFT or EP, which is why the paper sees the
+ * LogP-vs-LogP+C execution-time gap on every topology (Figure 14).
+ */
+
+#ifndef ABSIM_APPS_IS_HH
+#define ABSIM_APPS_IS_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/app.hh"
+#include "runtime/sync.hh"
+
+namespace absim::apps {
+
+class IsApp : public App
+{
+  public:
+    std::string name() const override { return "is"; }
+    void setup(rt::Runtime &rt, rt::SharedHeap &heap,
+               const AppParams &params) override;
+    void worker(rt::Proc &p) override;
+    void check() const override;
+
+  private:
+    std::uint64_t keys_ = 0;
+    std::uint32_t buckets_ = 0;
+    std::uint64_t seed_ = 0;
+    std::uint32_t procs_ = 0;
+
+    rt::SharedArray<std::uint32_t> in_;       ///< Input keys, blocked.
+    rt::SharedArray<std::uint32_t> out_;      ///< Ranked output.
+    rt::SharedArray<std::uint64_t> hist_;     ///< Shared histogram.
+    rt::SharedArray<std::uint64_t> offsets_;  ///< Bucket start offsets.
+    std::vector<std::unique_ptr<rt::SpinLock>> locks_; ///< Striped.
+    std::unique_ptr<rt::Barrier> barrier_;
+};
+
+} // namespace absim::apps
+
+#endif // ABSIM_APPS_IS_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * RADIX — parallel radix sort (extension, SPLASH-2 style).
+ *
+ * A second "wider suite" application (paper Section 7): multi-pass
+ * counting sort over digit groups.  Each pass histograms local keys,
+ * exchanges histograms through shared memory, and permutes keys into
+ * globally computed slots — an all-to-all scatter whose destinations
+ * change every pass, heavier and more irregular than IS's single-pass
+ * ranking, but still statically schedulable.
+ */
+
+#ifndef ABSIM_APPS_RADIX_HH
+#define ABSIM_APPS_RADIX_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/app.hh"
+#include "runtime/sync.hh"
+
+namespace absim::apps {
+
+class RadixApp : public App
+{
+  public:
+    /** Digit width: 6 bits -> 64 buckets per pass. */
+    static constexpr std::uint32_t kDigitBits = 6;
+    static constexpr std::uint32_t kDigits = 1u << kDigitBits;
+    /** Key width: 12 bits -> two passes. */
+    static constexpr std::uint32_t kKeyBits = 12;
+
+    std::string name() const override { return "radix"; }
+    void setup(rt::Runtime &rt, rt::SharedHeap &heap,
+               const AppParams &params) override;
+    void worker(rt::Proc &p) override;
+    void check() const override;
+
+  private:
+    std::uint64_t keys_ = 0;
+    std::uint64_t seed_ = 0;
+    std::uint32_t procs_ = 0;
+    std::uint32_t passes_ = 0;
+
+    rt::SharedArray<std::uint32_t> bufA_;
+    rt::SharedArray<std::uint32_t> bufB_;
+    /** Per (digit, proc) counts, then exclusive global offsets. */
+    rt::SharedArray<std::uint64_t> histo_;
+    std::unique_ptr<rt::Barrier> barrier_;
+    bool resultInA_ = true;
+};
+
+} // namespace absim::apps
+
+#endif // ABSIM_APPS_RADIX_HH

@@ -1,0 +1,129 @@
+#include "apps/stencil.hh"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/rng.hh"
+
+namespace absim::apps {
+
+namespace {
+
+constexpr std::uint64_t kDefaultGrid = 48;
+constexpr std::uint32_t kDefaultSweeps = 4;
+
+/** Cycle charge per 5-point update: four adds and a multiply. */
+constexpr std::uint64_t kCyclesPerPoint = 10;
+
+std::vector<double>
+makeGrid(std::uint64_t n, std::uint64_t seed)
+{
+    sim::Rng rng(seed * 48611 + 29);
+    std::vector<double> grid(n * n);
+    for (auto &v : grid)
+        v = rng.uniform();
+    return grid;
+}
+
+} // namespace
+
+std::vector<double>
+StencilApp::reference(std::uint64_t n, std::uint64_t seed,
+                      std::uint32_t sweeps)
+{
+    std::vector<double> a = makeGrid(n, seed);
+    std::vector<double> b(n * n, 0.0);
+    for (std::uint32_t s = 0; s < sweeps; ++s) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            for (std::uint64_t j = 0; j < n; ++j) {
+                if (i == 0 || j == 0 || i == n - 1 || j == n - 1) {
+                    b[i * n + j] = a[i * n + j]; // Fixed boundary.
+                    continue;
+                }
+                b[i * n + j] = 0.25 * (a[(i - 1) * n + j] +
+                                       a[(i + 1) * n + j] +
+                                       a[i * n + j - 1] +
+                                       a[i * n + j + 1]);
+            }
+        }
+        a.swap(b);
+    }
+    return a;
+}
+
+void
+StencilApp::setup(rt::Runtime &rt, rt::SharedHeap &heap,
+                  const AppParams &params)
+{
+    n_ = params.n ? params.n : kDefaultGrid;
+    sweeps_ = params.iterations ? params.iterations : kDefaultSweeps;
+    seed_ = params.seed;
+    procs_ = rt.procs();
+    if (n_ % procs_ != 0)
+        throw std::invalid_argument(
+            "stencil grid rows must be divisible by P");
+
+    gridA_ = rt::SharedArray<double>(heap, n_ * n_,
+                                     rt::Placement::Blocked);
+    gridB_ = rt::SharedArray<double>(heap, n_ * n_,
+                                     rt::Placement::Blocked);
+    barrier_ = std::make_unique<rt::Barrier>(heap, procs_);
+
+    const auto init = makeGrid(n_, seed_);
+    for (std::uint64_t i = 0; i < n_ * n_; ++i) {
+        gridA_.raw(i) = init[i];
+        gridB_.raw(i) = 0.0;
+    }
+    resultInA_ = (sweeps_ % 2) == 0;
+}
+
+void
+StencilApp::worker(rt::Proc &p)
+{
+    const std::uint64_t rows = n_ / procs_;
+    const std::uint64_t lo = p.node() * rows;
+    const std::uint64_t hi = lo + rows;
+
+    rt::SharedArray<double> *src = &gridA_;
+    rt::SharedArray<double> *dst = &gridB_;
+
+    for (std::uint32_t s = 0; s < sweeps_; ++s) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            for (std::uint64_t j = 0; j < n_; ++j) {
+                const std::uint64_t at = i * n_ + j;
+                if (i == 0 || j == 0 || i == n_ - 1 || j == n_ - 1) {
+                    dst->write(p, at, src->read(p, at));
+                    continue;
+                }
+                // Rows i-1 / i+1 are remote only at chunk boundaries:
+                // pure near-neighbor communication.
+                const double up = src->read(p, at - n_);
+                const double down = src->read(p, at + n_);
+                const double left = src->read(p, at - 1);
+                const double right = src->read(p, at + 1);
+                dst->write(p, at, 0.25 * (up + down + left + right));
+                p.compute(kCyclesPerPoint);
+            }
+        }
+        std::swap(src, dst);
+        barrier_->arrive(p);
+    }
+}
+
+void
+StencilApp::check() const
+{
+    const auto expect = reference(n_, seed_, sweeps_);
+    const rt::SharedArray<double> &result = resultInA_ ? gridA_ : gridB_;
+    double max_err = 0.0;
+    for (std::uint64_t i = 0; i < n_ * n_; ++i)
+        max_err = std::max(max_err, std::abs(result.raw(i) - expect[i]));
+    if (max_err > 1e-12) {
+        std::ostringstream msg;
+        msg << "STENCIL error " << max_err;
+        throw std::runtime_error(msg.str());
+    }
+}
+
+} // namespace absim::apps

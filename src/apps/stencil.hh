@@ -1,0 +1,59 @@
+/**
+ * @file
+ * STENCIL — 2-D Jacobi relaxation (extension beyond the paper's suite).
+ *
+ * The paper's Section 7 calls for "further study with a wider suite of
+ * applications" to probe which characteristics suit the abstractions.
+ * A near-neighbor stencil is the canonical *communication-local*
+ * workload: with rows block-distributed, each processor exchanges only
+ * its boundary rows with its two neighbors.  On the real machine those
+ * messages traverse one link; the bisection-bandwidth g charges them as
+ * if they crossed the bisection — so the stencil maximizes the g
+ * pessimism the paper demonstrates with EP, while having FFT-like
+ * regular structure.
+ *
+ * The kernel really relaxes the grid and is checked against a native
+ * double-precision reference.
+ */
+
+#ifndef ABSIM_APPS_STENCIL_HH
+#define ABSIM_APPS_STENCIL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/app.hh"
+#include "runtime/sync.hh"
+
+namespace absim::apps {
+
+class StencilApp : public App
+{
+  public:
+    std::string name() const override { return "stencil"; }
+    void setup(rt::Runtime &rt, rt::SharedHeap &heap,
+               const AppParams &params) override;
+    void worker(rt::Proc &p) override;
+    void check() const override;
+
+    /** Native reference: @p sweeps Jacobi sweeps over the same grid. */
+    static std::vector<double> reference(std::uint64_t n,
+                                         std::uint64_t seed,
+                                         std::uint32_t sweeps);
+
+  private:
+    std::uint64_t n_ = 0;       ///< Grid is n x n.
+    std::uint32_t sweeps_ = 0;
+    std::uint64_t seed_ = 0;
+    std::uint32_t procs_ = 0;
+
+    rt::SharedArray<double> gridA_;
+    rt::SharedArray<double> gridB_;
+    std::unique_ptr<rt::Barrier> barrier_;
+    bool resultInA_ = true;
+};
+
+} // namespace absim::apps
+
+#endif // ABSIM_APPS_STENCIL_HH

@@ -1,0 +1,85 @@
+#include "apps/synthetic.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/rng.hh"
+
+namespace absim::apps {
+
+namespace {
+
+constexpr std::uint64_t kDefaultOps = 512;
+constexpr std::uint64_t kCyclesBetweenOps = 20;
+
+} // namespace
+
+void
+SyntheticApp::setup(rt::Runtime &rt, rt::SharedHeap &heap,
+                    const AppParams &params)
+{
+    opsPerProc_ = params.n ? params.n : kDefaultOps;
+    seed_ = params.seed;
+    procs_ = rt.procs();
+
+    if (params.variant.empty() || params.variant == "uniform")
+        pattern_ = Pattern::Uniform;
+    else if (params.variant == "private")
+        pattern_ = Pattern::Private;
+    else if (params.variant == "neighbor")
+        pattern_ = Pattern::Neighbor;
+    else if (params.variant == "hotspot")
+        pattern_ = Pattern::Hotspot;
+    else
+        throw std::invalid_argument("unknown synthetic variant: " +
+                                    params.variant);
+
+    // Blocked placement: slot s belongs to node s / kSlotsPerNode.
+    slots_ = rt::SharedArray<std::uint64_t>(
+        heap, kSlotsPerNode * procs_, rt::Placement::Blocked);
+    for (std::uint64_t s = 0; s < slots_.size(); ++s)
+        slots_.raw(s) = 0;
+}
+
+void
+SyntheticApp::worker(rt::Proc &p)
+{
+    const std::uint32_t me = p.node();
+    sim::Rng rng(seed_ * 999331 + me);
+    for (std::uint64_t i = 0; i < opsPerProc_; ++i) {
+        std::uint32_t target_node = me;
+        switch (pattern_) {
+          case Pattern::Private:
+            break;
+          case Pattern::Neighbor:
+            target_node = (me + 1) % procs_;
+            break;
+          case Pattern::Uniform:
+            target_node = static_cast<std::uint32_t>(rng.below(procs_));
+            break;
+          case Pattern::Hotspot:
+            target_node = 0;
+            break;
+        }
+        const std::uint64_t slot = target_node * kSlotsPerNode +
+                                   rng.below(kSlotsPerNode);
+        slots_.fetchAdd(p, slot, 1);
+        p.compute(kCyclesBetweenOps);
+    }
+}
+
+void
+SyntheticApp::check() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t s = 0; s < slots_.size(); ++s)
+        total += slots_.raw(s);
+    if (total != opsPerProc_ * procs_) {
+        std::ostringstream msg;
+        msg << "SYNTHETIC lost updates: " << total << " of "
+            << opsPerProc_ * procs_;
+        throw std::runtime_error(msg.str());
+    }
+}
+
+} // namespace absim::apps

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SYNTHETIC — parameterized access-pattern microworkloads (extension).
+ *
+ * The authors' companion work (the paper's reference [26], "On
+ * characterizing bandwidth requirements of parallel applications") uses
+ * exactly this style of controlled kernel to expose how architectural
+ * abstractions respond to specific communication behaviours.  Each
+ * variant isolates one pattern:
+ *
+ *  - "private"  every processor touches only its own partition
+ *               (no communication; all machines must agree),
+ *  - "neighbor" each processor updates its ring successor's partition
+ *               (maximum communication locality; the g abstraction's
+ *               worst case),
+ *  - "uniform"  uniformly random remote partners (matches the uniform-
+ *               traffic assumption behind the bisection-bandwidth g),
+ *  - "hotspot"  everyone hammers node 0's memory (node-bandwidth bound;
+ *               g underestimates nothing, link contention dominates).
+ *
+ * Every variant increments shared counters via fetch&add, so the result
+ * check is exact on all machines.
+ */
+
+#ifndef ABSIM_APPS_SYNTHETIC_HH
+#define ABSIM_APPS_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "apps/app.hh"
+#include "runtime/sync.hh"
+
+namespace absim::apps {
+
+class SyntheticApp : public App
+{
+  public:
+    std::string name() const override { return "synthetic"; }
+    void setup(rt::Runtime &rt, rt::SharedHeap &heap,
+               const AppParams &params) override;
+    void worker(rt::Proc &p) override;
+    void check() const override;
+
+  private:
+    enum class Pattern
+    {
+        Private,
+        Neighbor,
+        Uniform,
+        Hotspot,
+    };
+
+    std::uint64_t opsPerProc_ = 0;
+    std::uint64_t seed_ = 0;
+    std::uint32_t procs_ = 0;
+    Pattern pattern_ = Pattern::Uniform;
+
+    static constexpr std::uint64_t kSlotsPerNode = 64;
+
+    rt::SharedArray<std::uint64_t> slots_;
+};
+
+} // namespace absim::apps
+
+#endif // ABSIM_APPS_SYNTHETIC_HH

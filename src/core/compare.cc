@@ -1,0 +1,79 @@
+#include "core/compare.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace absim::core {
+
+namespace {
+
+std::vector<double>
+ranks(const std::vector<double> &v)
+{
+    std::vector<std::size_t> order(v.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return v[a] < v[b];
+                     });
+    std::vector<double> r(v.size());
+    for (std::size_t pos = 0; pos < order.size(); ++pos)
+        r[order[pos]] = static_cast<double>(pos);
+    return r;
+}
+
+} // namespace
+
+double
+trendAgreement(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    if (a.size() < 2)
+        return 1.0;
+    const auto ra = ranks(a);
+    const auto rb = ranks(b);
+    const double n = static_cast<double>(a.size());
+    const double mean = (n - 1.0) / 2.0;
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double da = ra[i] - mean;
+        const double db = rb[i] - mean;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if (va == 0.0 || vb == 0.0)
+        return 1.0; // A flat curve agrees with anything in trend.
+    return cov / std::sqrt(va * vb);
+}
+
+double
+meanRatio(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] <= 0.0)
+            continue;
+        sum += b[i] / a[i];
+        ++count;
+    }
+    return count ? sum / static_cast<double>(count) : 1.0;
+}
+
+double
+maxRelGap(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double scale = std::max({a[i], b[i], 1e-12});
+        worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+    }
+    return worst;
+}
+
+} // namespace absim::core

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Curve-agreement metrics: how well does an abstraction's curve track the
+ * target machine's?  The paper argues in terms of curve *shape* (trend)
+ * and absolute gaps; these helpers quantify both so tests and
+ * EXPERIMENTS.md can assert the paper's qualitative claims mechanically.
+ */
+
+#ifndef ABSIM_CORE_COMPARE_HH
+#define ABSIM_CORE_COMPARE_HH
+
+#include <vector>
+
+namespace absim::core {
+
+/**
+ * Spearman-style trend agreement in [-1, 1]: rank correlation between two
+ * curves sampled at the same x positions.  1 means the curves rise and
+ * fall together (the paper's "similar trend / shape").
+ */
+double trendAgreement(const std::vector<double> &a,
+                      const std::vector<double> &b);
+
+/** Mean of pointwise ratios b/a (how pessimistic b is vs a). */
+double meanRatio(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Max of pointwise |a-b| / max(a, b, eps). */
+double maxRelGap(const std::vector<double> &a, const std::vector<double> &b);
+
+} // namespace absim::core
+
+#endif // ABSIM_CORE_COMPARE_HH

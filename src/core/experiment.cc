@@ -1,0 +1,65 @@
+#include "core/experiment.hh"
+
+#include <chrono>
+#include <memory>
+
+#include "machines/logp_c_machine.hh"
+#include "machines/logp_machine.hh"
+#include "machines/target_machine.hh"
+#include "runtime/context.hh"
+#include "runtime/shared.hh"
+#include "sim/event_queue.hh"
+
+namespace absim::core {
+
+namespace {
+
+std::unique_ptr<mach::Machine>
+makeMachine(const RunConfig &config, sim::EventQueue &eq,
+            const mem::HomeMap &homes)
+{
+    switch (config.machine) {
+      case mach::MachineKind::Target:
+        return std::make_unique<mach::TargetMachine>(
+            eq, config.topology, config.procs, homes, config.cache,
+            config.protocol);
+      case mach::MachineKind::LogP:
+        return std::make_unique<mach::LogPMachine>(
+            eq, config.topology, config.procs, homes, config.gapPolicy);
+      case mach::MachineKind::LogPC:
+        return std::make_unique<mach::LogPCMachine>(
+            eq, config.topology, config.procs, homes, config.gapPolicy,
+            config.cache);
+      case mach::MachineKind::None:
+        break; // Message-passing platforms are driven directly.
+    }
+    throw std::invalid_argument("unsupported machine kind");
+}
+
+} // namespace
+
+stats::Profile
+runOne(const RunConfig &config)
+{
+    const auto wall_begin = std::chrono::steady_clock::now();
+
+    sim::EventQueue eq;
+    rt::SharedHeap heap(config.procs);
+    auto machine = makeMachine(config, eq, heap);
+    rt::Runtime runtime(eq, *machine, config.procs);
+    auto app = apps::makeApp(config.app);
+
+    app->setup(runtime, heap, config.params);
+    runtime.spawn([&app](rt::Proc &p) { app->worker(p); });
+    runtime.run();
+    if (config.checkResult)
+        app->check();
+
+    stats::Profile profile = runtime.collect();
+    const auto wall_end = std::chrono::steady_clock::now();
+    profile.wallSeconds =
+        std::chrono::duration<double>(wall_end - wall_begin).count();
+    return profile;
+}
+
+} // namespace absim::core

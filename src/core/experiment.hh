@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The experiment driver: run one (application x machine x topology x P)
+ * combination end to end and return its SPASM profile.  This is the core
+ * of the reproduction — the apparatus the paper uses to compare the
+ * three machine characterizations.
+ */
+
+#ifndef ABSIM_CORE_EXPERIMENT_HH
+#define ABSIM_CORE_EXPERIMENT_HH
+
+#include <string>
+
+#include "apps/app.hh"
+#include "logp/gate.hh"
+#include "machines/machine.hh"
+#include "net/topology.hh"
+#include "stats/overheads.hh"
+
+namespace absim::core {
+
+/** Everything needed to reproduce one simulation run. */
+struct RunConfig
+{
+    std::string app = "fft";
+    apps::AppParams params;
+    mach::MachineKind machine = mach::MachineKind::Target;
+    net::TopologyKind topology = net::TopologyKind::Full;
+    std::uint32_t procs = 8;
+    logp::GapPolicy gapPolicy = logp::GapPolicy::Single;
+    mach::CacheConfig cache; ///< Cached machines' geometry.
+    mach::ProtocolKind protocol =
+        mach::ProtocolKind::Berkeley; ///< Target-machine protocol.
+    bool checkResult = true; ///< Validate numerics after the run.
+};
+
+/**
+ * Build engine + heap + machine + runtime, run the application, validate
+ * the result, and return its profile (with wall-clock cost filled in).
+ *
+ * @throws std::runtime_error if the application's check fails.
+ */
+stats::Profile runOne(const RunConfig &config);
+
+} // namespace absim::core
+
+#endif // ABSIM_CORE_EXPERIMENT_HH

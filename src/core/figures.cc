@@ -1,0 +1,101 @@
+#include "core/figures.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace absim::core {
+
+std::string
+toString(Metric metric)
+{
+    switch (metric) {
+      case Metric::ExecTime:
+        return "exec_time";
+      case Metric::Latency:
+        return "latency";
+      case Metric::Contention:
+        return "contention";
+    }
+    return "?";
+}
+
+std::vector<std::uint32_t>
+defaultProcCounts()
+{
+    return {1, 2, 4, 8, 16, 32};
+}
+
+double
+metricValue(const stats::Profile &profile, Metric metric)
+{
+    switch (metric) {
+      case Metric::ExecTime:
+        return static_cast<double>(profile.execTime()) / 1000.0;
+      case Metric::Latency:
+        return profile.meanLatency() / 1000.0;
+      case Metric::Contention:
+        return profile.meanContention() / 1000.0;
+    }
+    return 0.0;
+}
+
+Figure
+sweepFigure(const std::string &title, const RunConfig &base,
+            net::TopologyKind topology, Metric metric,
+            const std::vector<std::uint32_t> &proc_counts)
+{
+    Figure figure;
+    figure.title = title;
+    figure.app = base.app;
+    figure.topology = topology;
+    figure.metric = metric;
+
+    for (const std::uint32_t p : proc_counts) {
+        SeriesPoint point;
+        point.procs = p;
+        RunConfig config = base;
+        config.topology = topology;
+        config.procs = p;
+
+        config.machine = mach::MachineKind::Target;
+        point.target = metricValue(runOne(config), metric);
+        config.machine = mach::MachineKind::LogP;
+        point.logp = metricValue(runOne(config), metric);
+        config.machine = mach::MachineKind::LogPC;
+        point.logpc = metricValue(runOne(config), metric);
+
+        figure.points.push_back(point);
+    }
+    return figure;
+}
+
+void
+printFigure(std::ostream &os, const Figure &figure)
+{
+    os << "# " << figure.title << "\n"
+       << "# app=" << figure.app
+       << " network=" << net::toString(figure.topology)
+       << " metric=" << toString(figure.metric) << " (us)\n"
+       << std::setw(6) << "procs" << std::setw(16) << "target"
+       << std::setw(16) << "logp" << std::setw(16) << "logp+c" << "\n";
+    os << std::fixed << std::setprecision(1);
+    for (const SeriesPoint &pt : figure.points) {
+        os << std::setw(6) << pt.procs << std::setw(16) << pt.target
+           << std::setw(16) << pt.logp << std::setw(16) << pt.logpc
+           << "\n";
+    }
+    os.unsetf(std::ios::fixed);
+    os << std::setprecision(6);
+}
+
+void
+writeFigureCsv(std::ostream &os, const Figure &figure)
+{
+    os << "# " << figure.title << "\n"
+       << "procs,target,logp,logpc\n";
+    for (const SeriesPoint &pt : figure.points)
+        os << pt.procs << ',' << pt.target << ',' << pt.logp << ','
+           << pt.logpc << "\n";
+}
+
+} // namespace absim::core

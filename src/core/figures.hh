@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure harness: regenerate the paper's figure series.
+ *
+ * Every figure in the paper's evaluation is a curve of one metric
+ * (execution time, latency overhead, or contention overhead) against the
+ * processor count, with one curve per machine characterization.  This
+ * header provides the sweep and the printer the bench binaries share.
+ */
+
+#ifndef ABSIM_CORE_FIGURES_HH
+#define ABSIM_CORE_FIGURES_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace absim::core {
+
+/** Which overhead the figure plots (paper Section 3.3 semantics). */
+enum class Metric
+{
+    ExecTime,   ///< Max over processors of completion time.
+    Latency,    ///< Per-processor mean latency overhead.
+    Contention, ///< Per-processor mean contention overhead.
+};
+
+std::string toString(Metric metric);
+
+/** One point of a figure: the metric for all three machines at P. */
+struct SeriesPoint
+{
+    std::uint32_t procs = 0;
+    double target = 0.0;
+    double logp = 0.0;
+    double logpc = 0.0;
+};
+
+/** A complete figure. */
+struct Figure
+{
+    std::string title;
+    std::string app;
+    net::TopologyKind topology = net::TopologyKind::Full;
+    Metric metric = Metric::ExecTime;
+    std::vector<SeriesPoint> points;
+};
+
+/** The processor counts the benches sweep (paper: powers of two). */
+std::vector<std::uint32_t> defaultProcCounts();
+
+/** Extract the figure metric (in microseconds) from a profile. */
+double metricValue(const stats::Profile &profile, Metric metric);
+
+/**
+ * Run the sweep for one figure: the three machines at each P.
+ *
+ * @param base  App/params template; machine, topology and P are overridden.
+ */
+Figure sweepFigure(const std::string &title, const RunConfig &base,
+                   net::TopologyKind topology, Metric metric,
+                   const std::vector<std::uint32_t> &proc_counts);
+
+/** Print the figure in the benches' common tabular format. */
+void printFigure(std::ostream &os, const Figure &figure);
+
+/** Write the figure as CSV (procs,target,logp,logpc with a header). */
+void writeFigureCsv(std::ostream &os, const Figure &figure);
+
+} // namespace absim::core
+
+#endif // ABSIM_CORE_FIGURES_HH

@@ -1,0 +1,47 @@
+#include "logp/gate.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace absim::logp {
+
+GateSet::GateSet(std::uint32_t nodes, sim::Duration g, GapPolicy policy)
+    : g_(g), policy_(policy), gates_(nodes)
+{
+}
+
+Reservation
+GateSet::reserve(sim::Tick &last, bool &used, sim::Tick earliest)
+{
+    sim::Tick when = earliest;
+    if (used)
+        when = std::max(earliest, last + g_);
+    last = when;
+    used = true;
+    return Reservation{when, when - earliest};
+}
+
+Reservation
+GateSet::reserveSend(net::NodeId n, sim::Tick earliest)
+{
+    assert(n < gates_.size());
+    NodeGate &gate = gates_[n];
+    // Only PerDirection splits the gate; Single and BisectionOnly share
+    // one gate per node (the latter filters *which* messages reserve it,
+    // in LogPNetwork).
+    if (policy_ == GapPolicy::PerDirection)
+        return reserve(gate.send, gate.usedSend, earliest);
+    return reserve(gate.any, gate.used, earliest);
+}
+
+Reservation
+GateSet::reserveRecv(net::NodeId n, sim::Tick earliest)
+{
+    assert(n < gates_.size());
+    NodeGate &gate = gates_[n];
+    if (policy_ == GapPolicy::PerDirection)
+        return reserve(gate.recv, gate.usedRecv, earliest);
+    return reserve(gate.any, gate.used, earliest);
+}
+
+} // namespace absim::logp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The LogP network abstraction: topology-free message timing.
+ *
+ * A message from A to B initiated at tick t is timed as
+ *
+ *     send    s = gate_A(send) >= t          (wait charged to contention)
+ *     arrive  a = s + L                      (L charged to latency)
+ *     deliver r = gate_B(recv) >= a          (wait charged to contention)
+ *
+ * A shared-memory remote reference is a request/reply round trip of two
+ * such messages.  The caller's process blocks until the final delivery.
+ */
+
+#ifndef ABSIM_LOGP_LOGP_NET_HH
+#define ABSIM_LOGP_LOGP_NET_HH
+
+#include <cstdint>
+
+#include "logp/gate.hh"
+#include "logp/params.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace absim::logp {
+
+/** Timing split of one LogP message or round trip. */
+struct LogPTiming
+{
+    sim::Tick deliveredAt = 0;
+    sim::Duration latency = 0;
+    sim::Duration contention = 0; ///< sourceWait + sinkWait.
+    sim::Duration sourceWait = 0; ///< Send-gate portion of contention.
+    sim::Duration sinkWait = 0;   ///< Receive-gate portion.
+    std::uint32_t messages = 0;
+};
+
+/** Aggregate LogP network statistics. */
+struct LogPStats
+{
+    std::uint64_t messages = 0;
+    sim::Duration latency = 0;
+    sim::Duration contention = 0;
+};
+
+/**
+ * A LogP-abstracted interconnect shared by all nodes of a machine.
+ *
+ * Unlike DetailedNetwork, nothing here blocks: timing is computed by
+ * reserving gate slots (possibly in the future) and the *caller* sleeps
+ * until the result's deliveredAt.  This keeps the LogP machines cheap to
+ * simulate — which is the whole point of the abstraction.
+ */
+class LogPNetwork
+{
+  public:
+    LogPNetwork(const LogPParams &params, GapPolicy policy);
+
+    /** Time one message from @p src to @p dst starting at @p now. */
+    LogPTiming message(net::NodeId src, net::NodeId dst, sim::Tick now);
+
+    /**
+     * Time a request/reply round trip from @p src to @p dst starting at
+     * @p now (the common shape of every remote shared-memory reference).
+     */
+    LogPTiming roundTrip(net::NodeId src, net::NodeId dst, sim::Tick now);
+
+    const LogPParams &params() const { return params_; }
+    const LogPStats &stats() const { return stats_; }
+
+  private:
+    LogPParams params_;
+    GateSet gates_;
+    LogPStats stats_;
+};
+
+} // namespace absim::logp
+
+#endif // ABSIM_LOGP_LOGP_NET_HH

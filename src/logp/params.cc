@@ -1,0 +1,59 @@
+#include "logp/params.hh"
+
+#include <memory>
+
+#include "mem/addr.hh"
+#include "net/network.hh"
+
+namespace absim::logp {
+
+sim::Duration
+gapFor(net::TopologyKind kind, std::uint32_t p)
+{
+    if (p == 1)
+        return 0; // No network at all with a single node.
+
+    // g = message_time * P / bisection_links, with message_time the
+    // transmission time of a full cache block (32 B => 1600 ns).
+    const auto topo = net::Topology::make(kind, p);
+    const sim::Duration msg =
+        net::DetailedNetwork::transmissionTime(mem::kBlockBytes);
+    return msg * p / topo->bisectionLinks();
+}
+
+LogPParams
+paramsFor(net::TopologyKind kind, std::uint32_t p)
+{
+    LogPParams params;
+    params.l = net::DetailedNetwork::transmissionTime(mem::kBlockBytes);
+    params.o = 0;
+    params.g = gapFor(kind, p);
+    params.p = p;
+    params.topology = kind;
+    return params;
+}
+
+bool
+crossesBisection(net::TopologyKind kind, std::uint32_t p, net::NodeId src,
+                 net::NodeId dst)
+{
+    if (p < 2)
+        return false;
+    switch (kind) {
+      case net::TopologyKind::Full:
+      case net::TopologyKind::Hypercube: {
+        const std::uint32_t half = p / 2;
+        return (src < half) != (dst < half);
+      }
+      case net::TopologyKind::Mesh2D: {
+        std::uint32_t rows = 0, cols = 0;
+        net::MeshTopology::shapeFor(p, rows, cols);
+        if (cols >= 2)
+            return (src % cols < cols / 2) != (dst % cols < cols / 2);
+        return (src / cols < rows / 2) != (dst / cols < rows / 2);
+      }
+    }
+    return true;
+}
+
+} // namespace absim::logp

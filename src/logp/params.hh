@@ -1,0 +1,63 @@
+/**
+ * @file
+ * LogP model parameters (Culler et al., PPoPP 1993) as used in the paper.
+ *
+ * L — latency: network transmission time of a (maximum-size, 32-byte)
+ *     message, 1.6 us at 20 MB/s serial links.
+ * o — overhead: processor send/receive cost; negligible on a shared-memory
+ *     platform whose messages are generated in hardware (paper Section 3.1),
+ *     kept for completeness and defaulted to zero.
+ * g — gap: minimum interval between consecutive network operations at a
+ *     node, derived from per-processor bisection bandwidth (Section 5):
+ *         full: 3.2/p us     cube: 1.6 us     mesh: 0.8*px us
+ *     where px is the number of mesh columns.
+ * P — processor count.
+ */
+
+#ifndef ABSIM_LOGP_PARAMS_HH
+#define ABSIM_LOGP_PARAMS_HH
+
+#include <cstdint>
+
+#include "net/topology.hh"
+#include "sim/types.hh"
+
+namespace absim::logp {
+
+/** The four LogP parameters (P implicit in the machine). */
+struct LogPParams
+{
+    sim::Duration l = 1600; ///< Latency, ns (1.6 us for 32 B @ 20 MB/s).
+    sim::Duration o = 0;    ///< Overhead, ns (negligible; Section 3.1).
+    sim::Duration g = 0;    ///< Gap, ns.
+    std::uint32_t p = 1;    ///< Processors.
+
+    /** Topology g was derived from; used only by the locality-aware
+     *  (BisectionOnly) gap policy to decide which messages cross the
+     *  bisection. */
+    net::TopologyKind topology = net::TopologyKind::Full;
+};
+
+/**
+ * Does a message between these nodes cross the bisection cut that the g
+ * derivation divided the bandwidth over?  (Full/cube: address halves;
+ * mesh: the cut between the two middle columns.)
+ */
+bool crossesBisection(net::TopologyKind kind, std::uint32_t p,
+                      net::NodeId src, net::NodeId dst);
+
+/**
+ * The paper's g derivation: per-processor bisection bandwidth.
+ *
+ * For a message of 32 bytes on 20 MB/s links, g = 32 B / (bisection
+ * bandwidth / P).  With the bisection link counts of our topologies this
+ * reduces exactly to the closed forms the paper quotes.
+ */
+sim::Duration gapFor(net::TopologyKind kind, std::uint32_t p);
+
+/** Full LogP parameter set for a topology at @p p processors. */
+LogPParams paramsFor(net::TopologyKind kind, std::uint32_t p);
+
+} // namespace absim::logp
+
+#endif // ABSIM_LOGP_PARAMS_HH

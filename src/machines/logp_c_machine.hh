@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The LogP+C machine (paper Section 3.2): the LogP network abstraction
+ * augmented with an *ideal coherent cache* per node.
+ *
+ * Each node has the same 64 KB 2-way cache geometry as the target machine
+ * and the caches go through the same Berkeley state transitions — but the
+ * overheads of coherence maintenance are not modeled: invalidations,
+ * ownership transfers and writebacks are instantaneous and free.  Network
+ * round trips are charged only when a request cannot be satisfied by the
+ * cache or local memory (a miss whose data lives remotely), so the model
+ * captures the application's true communication — the minimum message
+ * count any invalidation protocol could hope to achieve.
+ */
+
+#ifndef ABSIM_MACHINES_LOGP_C_MACHINE_HH
+#define ABSIM_MACHINES_LOGP_C_MACHINE_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "logp/logp_net.hh"
+#include "machines/machine.hh"
+#include "mem/cache.hh"
+#include "sim/event_queue.hh"
+
+namespace absim::mach {
+
+class LogPCMachine : public Machine
+{
+  public:
+    LogPCMachine(sim::EventQueue &eq, net::TopologyKind topo,
+                 std::uint32_t nodes, const mem::HomeMap &homes,
+                 logp::GapPolicy policy = logp::GapPolicy::Single,
+                 const CacheConfig &cache_config = {});
+
+    AccessTiming access(MemClient &client, mem::Addr addr, AccessType type,
+                        std::uint32_t bytes) override;
+
+    MachineKind kind() const override { return MachineKind::LogPC; }
+
+    const logp::LogPNetwork &network() const { return *net_; }
+    const mem::SetAssocCache &cache(net::NodeId n) const
+    {
+        return *caches_[n];
+    }
+
+  private:
+    /** Zero-cost global coherence bookkeeping for one block. */
+    struct OracleEntry
+    {
+        std::uint64_t sharers = 0;
+        std::int32_t owner = -1;
+    };
+
+    OracleEntry &entryOf(mem::BlockId blk) { return oracle_[blk]; }
+
+    /** Silent, free eviction of the LRU victim (data teleports home). */
+    void makeRoom(net::NodeId node, mem::BlockId blk);
+
+    /** Free, instantaneous invalidation of every sharer but @p node. */
+    void invalidateOthers(net::NodeId node, mem::BlockId blk,
+                          OracleEntry &entry);
+
+    sim::EventQueue &eq_;
+    std::unique_ptr<logp::LogPNetwork> net_;
+    std::vector<std::unique_ptr<mem::SetAssocCache>> caches_;
+    std::unordered_map<mem::BlockId, OracleEntry> oracle_;
+};
+
+} // namespace absim::mach
+
+#endif // ABSIM_MACHINES_LOGP_C_MACHINE_HH

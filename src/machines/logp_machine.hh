@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The LogP machine (paper Section 3.1): processors with a slice of the
+ * globally shared memory, *no caches*, connected by a network abstracted
+ * by the L and g parameters.  Every non-local reference is a
+ * request/reply round trip on the LogP network, as on a NUMA machine
+ * like the BBN Butterfly GP-1000.
+ */
+
+#ifndef ABSIM_MACHINES_LOGP_MACHINE_HH
+#define ABSIM_MACHINES_LOGP_MACHINE_HH
+
+#include <memory>
+
+#include "logp/logp_net.hh"
+#include "machines/machine.hh"
+#include "sim/event_queue.hh"
+
+namespace absim::mach {
+
+class LogPMachine : public Machine
+{
+  public:
+    LogPMachine(sim::EventQueue &eq, net::TopologyKind topo,
+                std::uint32_t nodes, const mem::HomeMap &homes,
+                logp::GapPolicy policy = logp::GapPolicy::Single);
+
+    AccessTiming access(MemClient &client, mem::Addr addr, AccessType type,
+                        std::uint32_t bytes) override;
+
+    MachineKind kind() const override { return MachineKind::LogP; }
+
+    const logp::LogPNetwork &network() const { return *net_; }
+
+  private:
+    sim::EventQueue &eq_;
+    std::unique_ptr<logp::LogPNetwork> net_;
+};
+
+} // namespace absim::mach
+
+#endif // ABSIM_MACHINES_LOGP_MACHINE_HH

@@ -1,0 +1,33 @@
+#include "machines/machine.hh"
+
+namespace absim::mach {
+
+std::string
+toString(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Berkeley:
+        return "berkeley";
+      case ProtocolKind::Msi:
+        return "msi";
+    }
+    return "?";
+}
+
+std::string
+toString(MachineKind kind)
+{
+    switch (kind) {
+      case MachineKind::Target:
+        return "target";
+      case MachineKind::LogP:
+        return "logp";
+      case MachineKind::LogPC:
+        return "logp+c";
+      case MachineKind::None:
+        return "none";
+    }
+    return "?";
+}
+
+} // namespace absim::mach

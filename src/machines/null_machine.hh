@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The no-shared-memory machine, for message-passing platform studies:
+ * processors communicate exclusively through msg::MsgWorld and any
+ * shared-memory access is a programming error.
+ */
+
+#ifndef ABSIM_MACHINES_NULL_MACHINE_HH
+#define ABSIM_MACHINES_NULL_MACHINE_HH
+
+#include <stdexcept>
+
+#include "machines/machine.hh"
+
+namespace absim::mach {
+
+class NullMachine : public Machine
+{
+  public:
+    NullMachine(std::uint32_t nodes, const mem::HomeMap &homes)
+        : Machine(nodes, homes)
+    {
+    }
+
+    AccessTiming
+    access(MemClient &, mem::Addr, AccessType, std::uint32_t) override
+    {
+        throw std::logic_error(
+            "shared-memory access on a message-passing platform");
+    }
+
+    MachineKind kind() const override { return MachineKind::None; }
+};
+
+} // namespace absim::mach
+
+#endif // ABSIM_MACHINES_NULL_MACHINE_HH

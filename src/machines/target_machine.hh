@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The detailed target machine: a CC-NUMA shared-memory multiprocessor with
+ * per-node 64 KB 2-way private caches kept sequentially consistent by an
+ * invalidation-based (Berkeley) fully-mapped directory protocol, on top of
+ * the detailed circuit-switched interconnect (paper Sections 3 and 5).
+ *
+ * Protocol style: *blocking home*.  Every miss/upgrade/writeback locks the
+ * block's directory entry at its home node for the duration of the
+ * transaction, which serializes conflicting transactions exactly like a
+ * busy-bit blocking directory.  State transitions are applied at
+ * transaction points while the lock is held; the network transfers inside
+ * the transaction provide the timing (latency = contention-free
+ * transmission, contention = link waits + home-occupancy waits).
+ */
+
+#ifndef ABSIM_MACHINES_TARGET_MACHINE_HH
+#define ABSIM_MACHINES_TARGET_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "machines/machine.hh"
+#include "mem/cache.hh"
+#include "mem/directory.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+
+namespace absim::mach {
+
+class TargetMachine : public Machine
+{
+  public:
+    /**
+     * @param eq     Engine.
+     * @param topo   Interconnect topology (the machine owns the network).
+     * @param nodes  Processor/node count.
+     * @param homes  Address-to-home-node mapping.
+     */
+    TargetMachine(sim::EventQueue &eq, net::TopologyKind topo,
+                  std::uint32_t nodes, const mem::HomeMap &homes,
+                  const CacheConfig &cache_config = {},
+                  ProtocolKind protocol = ProtocolKind::Berkeley);
+
+    AccessTiming access(MemClient &client, mem::Addr addr, AccessType type,
+                        std::uint32_t bytes) override;
+
+    MachineKind kind() const override { return MachineKind::Target; }
+
+    const net::DetailedNetwork &network() const { return *net_; }
+    ProtocolKind protocol() const { return protocol_; }
+    const mem::SetAssocCache &cache(net::NodeId n) const
+    {
+        return *caches_[n];
+    }
+    const mem::Directory &directory() const { return dir_; }
+
+  private:
+    /** One network hop with stats/latency bookkeeping; no-op if src==dst
+     *  (then @p local_cost is charged to busy instead). */
+    void hop(net::NodeId src, net::NodeId dst, std::uint32_t bytes,
+             AccessTiming &t);
+
+    /** Write the victim back to its home and update the directory. */
+    void writeback(net::NodeId node, mem::BlockId victim,
+                   mem::LineState state, AccessTiming &t);
+
+    /** Read-miss transaction (Berkeley: owner supplies if one exists). */
+    void readMiss(net::NodeId node, mem::BlockId blk, AccessTiming &t);
+
+    /** Write-miss / upgrade transaction: fetch data if needed, invalidate
+     *  all other copies, take exclusive ownership. */
+    void writeMiss(net::NodeId node, mem::BlockId blk, bool have_line,
+                   AccessTiming &t);
+
+    /** Fan out invalidations to every sharer but @p node in parallel and
+     *  wait for all acks; state flips happen immediately (lock is held). */
+    void invalidateSharers(net::NodeId node, mem::BlockId blk,
+                           mem::DirectoryEntry &entry, AccessTiming &t);
+
+    /** Make room for @p blk in @p node's cache (victim writeback). */
+    void makeRoom(net::NodeId node, mem::BlockId blk, AccessTiming &t);
+
+    sim::EventQueue &eq_;
+    std::unique_ptr<net::DetailedNetwork> net_;
+    std::vector<std::unique_ptr<mem::SetAssocCache>> caches_;
+    mem::Directory dir_;
+    ProtocolKind protocol_;
+};
+
+} // namespace absim::mach
+
+#endif // ABSIM_MACHINES_TARGET_MACHINE_HH

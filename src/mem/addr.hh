@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simulated global shared address space: addresses, cache blocks, and the
+ * mapping from addresses to their home node.
+ *
+ * The target machine is a CC-NUMA: every node holds a piece of the global
+ * shared memory.  The runtime's shared-memory allocator decides placement
+ * and exposes it to the machine models through the HomeMap interface.
+ */
+
+#ifndef ABSIM_MEM_ADDR_HH
+#define ABSIM_MEM_ADDR_HH
+
+#include <cstdint>
+
+#include "net/topology.hh"
+
+namespace absim::mem {
+
+/** A simulated global shared-memory address (byte granular). */
+using Addr = std::uint64_t;
+
+/** Cache block (line) number: address with the offset bits stripped. */
+using BlockId = std::uint64_t;
+
+/** Cache block size: 32 bytes (paper Section 5). */
+inline constexpr std::uint32_t kBlockBytes = 32;
+inline constexpr std::uint32_t kBlockShift = 5;
+
+/** Maximum node count supported by the sharer bit masks. */
+inline constexpr std::uint32_t kMaxNodes = 64;
+
+/** Block number containing @p a. */
+constexpr BlockId
+blockOf(Addr a)
+{
+    return a >> kBlockShift;
+}
+
+/** First address of block @p b. */
+constexpr Addr
+blockBase(BlockId b)
+{
+    return b << kBlockShift;
+}
+
+/**
+ * Where does an address live?  Implemented by the runtime's shared heap;
+ * consumed by every machine model.
+ */
+class HomeMap
+{
+  public:
+    virtual ~HomeMap() = default;
+
+    /** Home node of the block containing @p a. */
+    virtual net::NodeId homeOf(Addr a) const = 0;
+};
+
+} // namespace absim::mem
+
+#endif // ABSIM_MEM_ADDR_HH

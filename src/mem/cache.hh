@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Set-associative private cache model.
+ *
+ * The paper's node caches are 64 KB, 2-way set associative with 32-byte
+ * blocks, kept coherent by the Berkeley (ownership-based invalidation)
+ * protocol.  Line states follow Berkeley:
+ *
+ *  - Invalid
+ *  - Valid        read-shared, memory (home) up to date
+ *  - SharedDirty  owned and possibly shared; memory stale
+ *  - Dirty        owned exclusively; memory stale
+ *
+ * The same structure backs both the detailed target machine and the
+ * LogP+C ideal-cache abstraction (which performs the identical state
+ * transitions but charges nothing for coherence traffic).
+ */
+
+#ifndef ABSIM_MEM_CACHE_HH
+#define ABSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mem/addr.hh"
+
+namespace absim::mem {
+
+/** Berkeley-protocol line states. */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Valid,
+    SharedDirty,
+    Dirty,
+};
+
+/** True for the two ownership states (memory may be stale). */
+constexpr bool
+isOwned(LineState s)
+{
+    return s == LineState::SharedDirty || s == LineState::Dirty;
+}
+
+/** Per-cache hit/miss/eviction counters. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t upgrades = 0;       ///< Write to Valid/SharedDirty line.
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0; ///< Evictions needing writeback.
+    std::uint64_t invalidationsReceived = 0;
+};
+
+/**
+ * An LRU set-associative cache of coherence state (no data payload: the
+ * simulator keeps application data in native memory).
+ */
+class SetAssocCache
+{
+  public:
+    /** Paper defaults: 64 KB, 2-way, 32 B blocks. */
+    SetAssocCache(std::uint32_t capacity_bytes = 64 * 1024,
+                  std::uint32_t associativity = 2);
+
+    /** State of @p blk, Invalid if absent. Does not touch LRU. */
+    LineState stateOf(BlockId blk) const;
+
+    /** True if @p blk can service an access of the given intent. */
+    bool
+    hasReadable(BlockId blk) const
+    {
+        return stateOf(blk) != LineState::Invalid;
+    }
+
+    bool
+    hasWritable(BlockId blk) const
+    {
+        return stateOf(blk) == LineState::Dirty;
+    }
+
+    /** Mark @p blk most recently used (call on hits). */
+    void touch(BlockId blk);
+
+    /**
+     * Pick the victim that inserting @p blk would evict.
+     *
+     * @param blk          Block about to be inserted (must be absent).
+     * @param victim_blk   Out: block number of the victim.
+     * @param victim_state Out: its state.
+     * @return true if a valid line must be evicted first.
+     */
+    bool victimFor(BlockId blk, BlockId &victim_blk,
+                   LineState &victim_state) const;
+
+    /**
+     * Install @p blk with @p state, evicting the LRU line of the set if
+     * needed (the caller is expected to have handled the victim via
+     * victimFor()).  Counts a miss.
+     */
+    void install(BlockId blk, LineState state);
+
+    /**
+     * Change the state of a present line.  Asserts presence.
+     */
+    void setState(BlockId blk, LineState state);
+
+    /**
+     * Drop @p blk (external invalidation). No-op if absent (e.g. the line
+     * was silently replaced after the directory recorded the sharer).
+     * @return true if a line was actually invalidated.
+     */
+    bool invalidate(BlockId blk);
+
+    /**
+     * Snapshot of all valid lines (block, state), for invariant checking
+     * and debugging; order is unspecified.
+     */
+    std::vector<std::pair<BlockId, LineState>> residentLines() const;
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+    const CacheStats &stats() const { return stats_; }
+    CacheStats &stats() { return stats_; }
+
+  private:
+    struct Line
+    {
+        BlockId tag = 0;
+        LineState state = LineState::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    const Line *find(BlockId blk) const;
+    Line *find(BlockId blk);
+
+    std::uint32_t
+    setIndex(BlockId blk) const
+    {
+        return static_cast<std::uint32_t>(blk) & (sets_ - 1);
+    }
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::vector<Line> lines_; // sets_ x ways_, row-major by set.
+    std::uint64_t useClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace absim::mem
+
+#endif // ABSIM_MEM_CACHE_HH

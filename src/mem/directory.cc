@@ -1,0 +1,8 @@
+#include "mem/directory.hh"
+
+// Directory is header-only today; this translation unit pins the vtable-
+// free class into the library and leaves room for persistence/debug dumps.
+
+namespace absim::mem {
+
+} // namespace absim::mem

@@ -1,0 +1,85 @@
+#include "msg/msg_world.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace absim::msg {
+
+MsgWorld::MsgWorld(sim::EventQueue &eq, Transport &transport,
+                   std::uint32_t nodes)
+    : eq_(eq), transport_(transport), nodes_(nodes)
+{
+}
+
+void
+MsgWorld::send(rt::Proc &p, net::NodeId dst, Tag tag, const void *data,
+               std::uint32_t bytes)
+{
+    assert(dst < nodes_ && dst != p.node() &&
+           "send must target a different, valid node");
+    p.syncToEngine();
+    const sim::Tick began = eq_.now();
+
+    const SendTiming timing = transport_.send(p.node(), dst, bytes);
+    ++sent_;
+
+    // Sender accounting: the transport blocked us until senderFreeAt.
+    assert(eq_.now() == timing.senderFreeAt);
+    const sim::Duration elapsed = eq_.now() - began;
+    assert(timing.senderLatency + timing.senderContention == elapsed);
+    p.absorbEngineTime(timing.senderLatency, timing.senderContention, 0);
+
+    Delivery delivery;
+    delivery.payload.assign(static_cast<const std::uint8_t *>(data),
+                            static_cast<const std::uint8_t *>(data) +
+                                bytes);
+    delivery.deliveredAt = timing.deliveredAt;
+    delivery.msgLatency = timing.msgLatency;
+    delivery.msgContention = timing.msgContention;
+
+    const Key key = keyOf(dst, p.node(), tag);
+    assert(timing.deliveredAt >= eq_.now());
+    eq_.schedule(timing.deliveredAt,
+                 [this, key, delivery = std::move(delivery)]() mutable {
+                     Channel &channel = channels_[key];
+                     channel.ready.push_back(std::move(delivery));
+                     if (channel.waiter != nullptr) {
+                         rt::Proc *waiter = channel.waiter;
+                         channel.waiter = nullptr;
+                         waiter->process()->wake();
+                     }
+                 });
+}
+
+std::vector<std::uint8_t>
+MsgWorld::recv(rt::Proc &p, net::NodeId src, Tag tag)
+{
+    assert(src < nodes_ && src != p.node());
+    p.syncToEngine();
+    const sim::Tick began = eq_.now();
+
+    const Key key = keyOf(p.node(), src, tag);
+    Channel &channel = channels_[key];
+    if (channel.ready.empty()) {
+        assert(channel.waiter == nullptr &&
+               "one receiver per channel at a time");
+        channel.waiter = &p;
+        p.process()->suspend();
+        assert(!channel.ready.empty());
+    }
+
+    Delivery delivery = std::move(channel.ready.front());
+    channel.ready.pop_front();
+
+    // Receiver accounting: the blocked interval is attributed first to
+    // the message's in-flight latency, then its contention, and the
+    // rest (time before the peer even sent) to the wait bucket.
+    const sim::Duration elapsed = eq_.now() - began;
+    const sim::Duration lat = std::min(delivery.msgLatency, elapsed);
+    const sim::Duration cont =
+        std::min(delivery.msgContention, elapsed - lat);
+    p.absorbEngineTime(lat, cont, elapsed - lat - cont);
+    return delivery.payload;
+}
+
+} // namespace absim::msg

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Point-to-point message transports for the message-passing runtime.
+ *
+ * SPASM simulated both shared-memory and message-passing platforms (the
+ * paper's companion study, its reference [27]); this layer is the
+ * message-passing substrate.  A Transport times one one-way message and
+ * reports two views of its cost:
+ *
+ *  - the *sender* view: when the sender's processor is free again and
+ *    what it waited for (link/circuit or send gate),
+ *  - the *message* view: when the payload is delivered at the receiver
+ *    and the latency/contention a blocked receiver should be charged.
+ *
+ * Two implementations mirror the paper's machines: the detailed
+ * circuit-switched network (sender blocked for the whole transfer) and
+ * the LogP abstraction (sender blocked only to its send slot; L and the
+ * receive gate are charged at the receiver).
+ */
+
+#ifndef ABSIM_MSG_TRANSPORT_HH
+#define ABSIM_MSG_TRANSPORT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "logp/logp_net.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+
+namespace absim::msg {
+
+/** Timing of one message, split into sender and receiver views. */
+struct SendTiming
+{
+    sim::Tick senderFreeAt = 0;     ///< Sender may continue here.
+    sim::Tick deliveredAt = 0;      ///< Payload available at receiver.
+    sim::Duration senderLatency = 0;
+    sim::Duration senderContention = 0;
+    sim::Duration msgLatency = 0;   ///< Chargeable to a blocked receiver.
+    sim::Duration msgContention = 0;
+};
+
+/**
+ * Abstract transport.  send() must be called from inside the sending
+ * processor's simulated process and may block it in simulated time; on
+ * return the engine clock equals senderFreeAt.
+ */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    virtual SendTiming send(net::NodeId src, net::NodeId dst,
+                            std::uint32_t bytes) = 0;
+
+    /** Messages sent so far. */
+    virtual std::uint64_t messages() const = 0;
+};
+
+/** Transport over the detailed circuit-switched network. */
+class DetailedTransport : public Transport
+{
+  public:
+    DetailedTransport(sim::EventQueue &eq, net::TopologyKind topo,
+                      std::uint32_t nodes);
+
+    SendTiming send(net::NodeId src, net::NodeId dst,
+                    std::uint32_t bytes) override;
+    std::uint64_t messages() const override
+    {
+        return net_->stats().messages;
+    }
+
+    const net::DetailedNetwork &network() const { return *net_; }
+
+  private:
+    sim::EventQueue &eq_;
+    std::unique_ptr<net::DetailedNetwork> net_;
+};
+
+/** Transport over the LogP abstraction. */
+class LogPTransport : public Transport
+{
+  public:
+    LogPTransport(sim::EventQueue &eq, net::TopologyKind topo,
+                  std::uint32_t nodes,
+                  logp::GapPolicy policy = logp::GapPolicy::Single);
+
+    SendTiming send(net::NodeId src, net::NodeId dst,
+                    std::uint32_t bytes) override;
+    std::uint64_t messages() const override
+    {
+        return net_->stats().messages;
+    }
+
+    const logp::LogPNetwork &network() const { return *net_; }
+
+  private:
+    sim::EventQueue &eq_;
+    std::unique_ptr<logp::LogPNetwork> net_;
+};
+
+} // namespace absim::msg
+
+#endif // ABSIM_MSG_TRANSPORT_HH

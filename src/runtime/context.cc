@@ -1,0 +1,196 @@
+#include "runtime/context.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "mem/addr.hh"
+
+namespace absim::rt {
+
+Proc::Proc(Runtime &rt, net::NodeId id) : rt_(rt), id_(id) {}
+
+std::uint32_t
+Proc::procs() const
+{
+    return rt_.procs();
+}
+
+void
+Proc::syncToEngine()
+{
+    assert(process_ && sim::Process::current() == process_);
+    assert(localTime_ >= rt_.engine().now());
+    process_->delayUntil(localTime_);
+}
+
+void
+Proc::maybeYield()
+{
+    // The local clock may run ahead of the engine between shared events;
+    // before touching shared state, let every earlier global event fire.
+    if (localTime_ >= rt_.engine().nextEventTime())
+        syncToEngine();
+}
+
+void
+Proc::compute(std::uint64_t n)
+{
+    computeNs(sim::cycles(n));
+}
+
+void
+Proc::computeNs(sim::Duration ns)
+{
+    localTime_ += ns;
+    stats_.busy += ns;
+}
+
+void
+Proc::access(mem::Addr addr, mach::AccessType type, std::uint32_t bytes)
+{
+    assert(bytes <= mem::kBlockBytes);
+    assert(mem::blockOf(addr) == mem::blockOf(addr + bytes - 1) &&
+           "access must not straddle cache blocks");
+    maybeYield();
+    const mach::AccessTiming t =
+        rt_.machine().access(*this, addr, type, bytes);
+    // If the machine blocked, the engine clock carries the completion
+    // time; otherwise the engine is behind our private clock.  Either
+    // way the trailing local cost is added on top.
+    localTime_ = std::max(localTime_, rt_.engine().now()) + t.busy;
+    stats_.busy += t.busy;
+    stats_.latency += t.latency;
+    stats_.contention += t.contention;
+    ++stats_.accesses;
+    if (t.networked) {
+        ++stats_.networkAccesses;
+        remoteHist_.record(t.latency + t.contention);
+    }
+}
+
+void
+Proc::memRead(mem::Addr addr, std::uint32_t bytes)
+{
+    access(addr, mach::AccessType::Read, bytes);
+}
+
+void
+Proc::memWrite(mem::Addr addr, std::uint32_t bytes)
+{
+    access(addr, mach::AccessType::Write, bytes);
+}
+
+void
+Proc::memRmw(mem::Addr addr, std::uint32_t bytes)
+{
+    access(addr, mach::AccessType::Rmw, bytes);
+}
+
+void
+Proc::flushPhase()
+{
+    stats::PhaseStats delta;
+    delta.name = currentPhase_;
+    delta.busy = stats_.busy - phaseSnapshot_.busy;
+    delta.latency = stats_.latency - phaseSnapshot_.latency;
+    delta.contention = stats_.contention - phaseSnapshot_.contention;
+    delta.wait = stats_.wait - phaseSnapshot_.wait;
+    phaseSnapshot_ = stats_;
+
+    for (stats::PhaseStats &phase : phases_) {
+        if (phase.name == delta.name) {
+            phase.busy += delta.busy;
+            phase.latency += delta.latency;
+            phase.contention += delta.contention;
+            phase.wait += delta.wait;
+            return;
+        }
+    }
+    phases_.push_back(std::move(delta));
+}
+
+void
+Proc::beginPhase(const std::string &name)
+{
+    flushPhase();
+    currentPhase_ = name;
+}
+
+void
+Proc::absorbEngineTime(sim::Duration latency, sim::Duration contention,
+                       sim::Duration wait)
+{
+    const sim::Tick now = rt_.engine().now();
+    assert(now >= localTime_);
+    assert(latency + contention + wait == now - localTime_ &&
+           "buckets must partition the elapsed engine time");
+    localTime_ = now;
+    stats_.latency += latency;
+    stats_.contention += contention;
+    stats_.wait += wait;
+}
+
+Runtime::Runtime(sim::EventQueue &eq, mach::Machine &machine,
+                 std::uint32_t p)
+    : eq_(eq), machine_(machine), p_(p)
+{
+    assert(p >= 1);
+}
+
+Runtime::~Runtime() = default;
+
+void
+Runtime::spawn(std::function<void(Proc &)> body)
+{
+    assert(procs_.empty() && "spawn may only be called once");
+    procs_.reserve(p_);
+    processes_.reserve(p_);
+    for (std::uint32_t i = 0; i < p_; ++i)
+        procs_.push_back(std::make_unique<Proc>(*this, i));
+    for (std::uint32_t i = 0; i < p_; ++i) {
+        Proc *proc = procs_[i].get();
+        processes_.push_back(std::make_unique<sim::Process>(
+            eq_, "worker-" + std::to_string(i), [this, proc, body] {
+                // Exceptions must not unwind across the fiber boundary;
+                // capture and rethrow from run() on the scheduler stack.
+                try {
+                    body(*proc);
+                } catch (...) {
+                    if (!workerError_)
+                        workerError_ = std::current_exception();
+                }
+                proc->recordFinish();
+            }));
+        proc->bindProcess(processes_.back().get());
+        processes_.back()->start(0);
+    }
+}
+
+void
+Runtime::run()
+{
+    eq_.run();
+    if (workerError_)
+        std::rethrow_exception(workerError_);
+    for ([[maybe_unused]] const auto &p : processes_)
+        assert(p->finished() && "a worker is still blocked at drain");
+}
+
+stats::Profile
+Runtime::collect() const
+{
+    stats::Profile profile;
+    profile.procs.reserve(p_);
+    profile.procPhases.reserve(p_);
+    for (const auto &proc : procs_) {
+        profile.procs.push_back(proc->stats());
+        profile.procPhases.push_back(proc->phases());
+        profile.remoteLatency.merge(proc->remoteLatencyHistogram());
+    }
+    profile.machine = machine_.stats();
+    profile.engineEvents = eq_.dispatched();
+    return profile;
+}
+
+} // namespace absim::rt

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Per-processor execution context and the Runtime harness.
+ *
+ * A Proc is what application code sees: it charges computation, issues
+ * simulated shared-memory accesses, and carries the SPASM overhead
+ * counters.  Each Proc runs on its own simulated process (fiber) and keeps
+ * a *local clock* that runs ahead of the global engine between shared
+ * events — the direct-execution trick that makes execution-driven
+ * simulation fast.  Before any access, the Proc yields to the engine if
+ * its local clock has passed the next pending global event, so all shared
+ * accesses still happen in exact global time order (sequential
+ * consistency at access granularity).
+ */
+
+#ifndef ABSIM_RUNTIME_CONTEXT_HH
+#define ABSIM_RUNTIME_CONTEXT_HH
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "machines/machine.hh"
+#include "sim/process.hh"
+#include "stats/histogram.hh"
+#include "stats/overheads.hh"
+
+namespace absim::rt {
+
+class Runtime;
+
+/**
+ * One simulated processor, as seen by application code.
+ */
+class Proc : public mach::MemClient
+{
+  public:
+    Proc(Runtime &rt, net::NodeId id);
+
+    // MemClient interface (called back by machine models).
+    net::NodeId node() const override { return id_; }
+    sim::Tick localTime() const override { return localTime_; }
+    void syncToEngine() override;
+
+    /** Charge @p n processor cycles of computation. */
+    void compute(std::uint64_t n);
+
+    /** Charge @p ns nanoseconds of computation. */
+    void computeNs(sim::Duration ns);
+
+    /** Simulated shared-memory read of @p bytes at @p addr. */
+    void memRead(mem::Addr addr, std::uint32_t bytes);
+
+    /** Simulated shared-memory write. */
+    void memWrite(mem::Addr addr, std::uint32_t bytes);
+
+    /** Simulated atomic read-modify-write. */
+    void memRmw(mem::Addr addr, std::uint32_t bytes);
+
+    const stats::ProcStats &stats() const { return stats_; }
+
+    /** Distribution of networked-access completion times (ns). */
+    const stats::Histogram &remoteLatencyHistogram() const
+    {
+        return remoteHist_;
+    }
+
+    /**
+     * Mark the start of a named application phase (SPASM bottleneck
+     * isolation).  Until the next beginPhase()/worker exit, all overhead
+     * accrues to @p name; repeated names accumulate.  Before the first
+     * beginPhase() everything lands in an implicit "main" phase.
+     */
+    void beginPhase(const std::string &name);
+
+    /** Per-phase breakdown in first-use order (finalized at exit). */
+    const std::vector<stats::PhaseStats> &phases() const
+    {
+        return phases_;
+    }
+
+    Runtime &runtime() { return rt_; }
+
+    /** Total processors in this run (convenience for workers). */
+    std::uint32_t procs() const;
+
+    /** @name Harness plumbing (used by Runtime). */
+    /// @{
+    void bindProcess(sim::Process *p) { process_ = p; }
+
+    void
+    recordFinish()
+    {
+        stats_.finishTime = localTime_;
+        flushPhase();
+    }
+    /// @}
+
+    /** @name Message-passing support (used by msg::MsgWorld).
+     *
+     * The shared-memory path never touches these: its blocking is
+     * machine-mediated.  The message layer blocks processors directly
+     * (suspend/wake) and accounts the elapsed engine time itself.
+     */
+    /// @{
+    /** The underlying simulated process (for suspend/wake). */
+    sim::Process *process() { return process_; }
+
+    /**
+     * Jump the local clock to the engine clock, attributing the elapsed
+     * time to the given buckets.  The buckets must sum to exactly the
+     * elapsed time (the profile invariant is asserted in tests).
+     */
+    void absorbEngineTime(sim::Duration latency, sim::Duration contention,
+                          sim::Duration wait);
+    /// @}
+
+  private:
+    void access(mem::Addr addr, mach::AccessType type, std::uint32_t bytes);
+    void maybeYield();
+
+    /** Attribute overhead accrued since the last snapshot to the
+     *  current phase. */
+    void flushPhase();
+
+    Runtime &rt_;
+    net::NodeId id_;
+    sim::Process *process_ = nullptr;
+    sim::Tick localTime_ = 0;
+    stats::ProcStats stats_;
+    stats::ProcStats phaseSnapshot_;
+    stats::Histogram remoteHist_;
+    std::string currentPhase_ = "main";
+    std::vector<stats::PhaseStats> phases_;
+};
+
+/**
+ * Glue between an engine, a machine and P processors; owns the worker
+ * processes and collects the run profile.
+ */
+class Runtime
+{
+  public:
+    Runtime(sim::EventQueue &eq, mach::Machine &machine, std::uint32_t p);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /**
+     * Create the P worker processes, each running @p body on its Proc.
+     * Call once, then run().
+     */
+    void spawn(std::function<void(Proc &)> body);
+
+    /**
+     * Run the simulation to completion.
+     * @throws whatever a worker threw (captured on the worker's fiber,
+     *         rethrown here on the scheduler stack).
+     */
+    void run();
+
+    /** Gather the SPASM profile after run(). */
+    stats::Profile collect() const;
+
+    sim::EventQueue &engine() { return eq_; }
+    mach::Machine &machine() { return machine_; }
+    std::uint32_t procs() const { return p_; }
+    Proc &proc(std::uint32_t i) { return *procs_[i]; }
+
+  private:
+    sim::EventQueue &eq_;
+    mach::Machine &machine_;
+    std::uint32_t p_;
+    std::vector<std::unique_ptr<Proc>> procs_;
+    std::vector<std::unique_ptr<sim::Process>> processes_;
+    std::exception_ptr workerError_;
+};
+
+} // namespace absim::rt
+
+#endif // ABSIM_RUNTIME_CONTEXT_HH

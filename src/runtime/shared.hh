@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The simulated global shared memory: an allocator that assigns simulated
+ * addresses with explicit home-node placement, and typed shared arrays
+ * that couple a simulated address range with native backing storage.
+ *
+ * Application data really lives in native memory (the simulator is
+ * execution-driven: computations run at native speed); only the *accesses*
+ * are simulated.  SharedArray's accessors perform the simulated access
+ * first and touch the native element exactly at the access's completion
+ * instant, which makes reads/writes/RMWs linearizable in simulated time —
+ * the sequential consistency the paper's machines provide.
+ */
+
+#ifndef ABSIM_RUNTIME_SHARED_HH
+#define ABSIM_RUNTIME_SHARED_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "runtime/context.hh"
+
+namespace absim::rt {
+
+/** How a shared allocation is distributed over node memories. */
+enum class Placement
+{
+    /** Contiguous equal chunks, node 0 first (the static partitioning the
+     *  paper's applications use). */
+    Blocked,
+    /** Cache-block round-robin across nodes. */
+    Interleaved,
+    /** Entirely in one node's memory. */
+    OnNode,
+};
+
+/**
+ * Allocator of the simulated shared address space; implements HomeMap for
+ * the machine models.
+ */
+class SharedHeap : public mem::HomeMap
+{
+  public:
+    explicit SharedHeap(std::uint32_t nodes);
+
+    /**
+     * Allocate @p bytes with the given placement.
+     * @return Block-aligned base address.
+     */
+    mem::Addr allocate(std::uint64_t bytes, Placement placement,
+                       net::NodeId node = 0);
+
+    net::NodeId homeOf(mem::Addr a) const override;
+
+    std::uint32_t nodes() const { return nodes_; }
+
+  private:
+    struct Segment
+    {
+        mem::Addr base;
+        std::uint64_t bytes;
+        Placement placement;
+        net::NodeId node;        ///< For OnNode.
+        std::uint64_t chunk;     ///< Per-node chunk size for Blocked.
+    };
+
+    std::uint32_t nodes_;
+    std::vector<Segment> segments_; // Sorted by base (append-only).
+    mem::Addr next_;
+};
+
+/**
+ * A typed array in simulated shared memory with native backing storage.
+ *
+ * @tparam T  Trivially copyable, power-of-two size <= one cache block, so
+ *            an element never straddles blocks.
+ */
+template <typename T>
+class SharedArray
+{
+    static_assert(sizeof(T) <= mem::kBlockBytes,
+                  "element must fit in a cache block");
+    static_assert((sizeof(T) & (sizeof(T) - 1)) == 0,
+                  "element size must be a power of two");
+
+  public:
+    SharedArray() = default;
+
+    SharedArray(SharedHeap &heap, std::size_t n, Placement placement,
+                net::NodeId node = 0)
+        : data_(n), base_(heap.allocate(n * sizeof(T), placement, node))
+    {
+    }
+
+    /** Simulated address of element @p i. */
+    mem::Addr
+    addrOf(std::size_t i) const
+    {
+        assert(i < data_.size());
+        return base_ + i * sizeof(T);
+    }
+
+    std::size_t size() const { return data_.size(); }
+
+    /** Simulated read: charges the machine, returns the coherent value. */
+    T
+    read(Proc &p, std::size_t i) const
+    {
+        p.memRead(addrOf(i), sizeof(T));
+        return data_[i];
+    }
+
+    /** Simulated write. */
+    void
+    write(Proc &p, std::size_t i, const T &v)
+    {
+        p.memWrite(addrOf(i), sizeof(T));
+        data_[i] = v;
+    }
+
+    /** Atomic fetch-and-add (simulated RMW). @return the old value. */
+    T
+    fetchAdd(Proc &p, std::size_t i, T delta)
+    {
+        p.memRmw(addrOf(i), sizeof(T));
+        const T old = data_[i];
+        data_[i] = static_cast<T>(old + delta);
+        return old;
+    }
+
+    /** Atomic test-and-set (simulated RMW). @return the old value. */
+    T
+    testAndSet(Proc &p, std::size_t i)
+    {
+        p.memRmw(addrOf(i), sizeof(T));
+        const T old = data_[i];
+        data_[i] = static_cast<T>(1);
+        return old;
+    }
+
+    /**
+     * Direct access to the native element, bypassing simulation.  For
+     * initialization before the parallel phase and for result checking
+     * after it — never from worker code on shared data.
+     */
+    T &raw(std::size_t i) { return data_[i]; }
+    const T &raw(std::size_t i) const { return data_[i]; }
+
+  private:
+    std::vector<T> data_;
+    mem::Addr base_ = 0;
+};
+
+} // namespace absim::rt
+
+#endif // ABSIM_RUNTIME_SHARED_HH

@@ -1,0 +1,95 @@
+#include "runtime/sync.hh"
+
+namespace absim::rt {
+
+SpinLock::SpinLock(SharedHeap &heap, net::NodeId home, LockKind kind)
+    : word_(heap, 1, Placement::OnNode, home), kind_(kind)
+{
+}
+
+void
+SpinLock::lock(Proc &p)
+{
+    Backoff backoff;
+    bool first_try = true;
+    for (;;) {
+        if (kind_ == LockKind::TestTestAndSet) {
+            // Test loop: spin with plain reads until the lock looks free.
+            // On a cached machine these are local hits; on the LogP
+            // machine each is a remote reference — the paper's observed
+            // degeneration of TTS into TS behaviour.
+            while (word_.read(p, 0) != 0) {
+                if (first_try) {
+                    ++contended_;
+                    first_try = false;
+                }
+                backoff.pause(p);
+            }
+        }
+        if (word_.testAndSet(p, 0) == 0)
+            return;
+        if (first_try) {
+            ++contended_;
+            first_try = false;
+        }
+        backoff.pause(p);
+    }
+}
+
+void
+SpinLock::unlock(Proc &p)
+{
+    word_.write(p, 0, 0);
+}
+
+Barrier::Barrier(SharedHeap &heap, std::uint32_t parties, net::NodeId home)
+    : parties_(parties), count_(heap, 1, Placement::OnNode, home),
+      sense_(heap, 1, Placement::OnNode, home),
+      localSense_(mem::kMaxNodes, 0)
+{
+}
+
+void
+Barrier::arrive(Proc &p)
+{
+    const std::uint64_t my_sense = 1 - localSense_[p.node()];
+    localSense_[p.node()] = my_sense;
+
+    const std::uint64_t arrived = count_.fetchAdd(p, 0, 1);
+    if (arrived == parties_ - 1) {
+        // Last arriver resets the counter and releases everyone.
+        count_.write(p, 0, 0);
+        sense_.write(p, 0, my_sense);
+        return;
+    }
+    Backoff backoff;
+    while (sense_.read(p, 0) != my_sense)
+        backoff.pause(p);
+}
+
+Flag::Flag(SharedHeap &heap, net::NodeId home)
+    : word_(heap, 1, Placement::OnNode, home)
+{
+}
+
+void
+Flag::set(Proc &p, std::uint64_t value)
+{
+    word_.write(p, 0, value);
+}
+
+std::uint64_t
+Flag::get(Proc &p)
+{
+    return word_.read(p, 0);
+}
+
+void
+Flag::waitFor(Proc &p, std::uint64_t value)
+{
+    Backoff backoff;
+    while (word_.read(p, 0) != value)
+        backoff.pause(p);
+}
+
+} // namespace absim::rt

@@ -1,0 +1,65 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace absim::sim {
+
+void
+EventQueue::checkCap() const
+{
+    if (eventCap_ != 0 && dispatched_ >= eventCap_)
+        throw std::runtime_error(
+            "simulation exceeded its event cap (livelock?)");
+}
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    assert(when >= now_ && "cannot schedule an event in the past");
+    queue_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::run()
+{
+    while (!queue_.empty()) {
+        checkCap();
+        // priority_queue::top() returns a const ref; the callback must be
+        // moved out before pop, so copy the cheap fields and steal the
+        // std::function via const_cast (safe: the element is removed
+        // immediately afterwards and never re-compared).
+        auto &top = const_cast<Event &>(queue_.top());
+        now_ = top.when;
+        Callback cb = std::move(top.cb);
+        queue_.pop();
+        ++dispatched_;
+        cb();
+    }
+}
+
+bool
+EventQueue::runUntil(Tick limit)
+{
+    while (!queue_.empty()) {
+        checkCap();
+        if (queue_.top().when > limit)
+            return false;
+        auto &top = const_cast<Event &>(queue_.top());
+        now_ = top.when;
+        Callback cb = std::move(top.cb);
+        queue_.pop();
+        ++dispatched_;
+        cb();
+    }
+    return true;
+}
+
+Tick
+EventQueue::nextEventTime() const
+{
+    return queue_.empty() ? kTickMax : queue_.top().when;
+}
+
+} // namespace absim::sim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic discrete-event engine.
+ *
+ * This is the CSIM substitute at the bottom of the simulator: a priority
+ * queue of (tick, sequence, callback) events.  Two events scheduled for the
+ * same tick fire in scheduling order, which makes every simulation run
+ * bit-for-bit reproducible.
+ */
+
+#ifndef ABSIM_SIM_EVENT_QUEUE_HH
+#define ABSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace absim::sim {
+
+/**
+ * A deterministic discrete-event simulation engine.
+ *
+ * The engine owns the global simulated clock.  Client code (processes,
+ * resources, networks) schedules callbacks at absolute ticks; run()
+ * dispatches them in (tick, insertion) order until the queue drains.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule a callback at absolute time @p when.
+     *
+     * @param when  Absolute tick; must be >= now().
+     * @param cb    Callback invoked when the clock reaches @p when.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule a callback @p delay ticks from now. */
+    void scheduleAfter(Duration delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Run events until the queue is empty. */
+    void run();
+
+    /**
+     * Run events until the clock would pass @p limit.
+     *
+     * Events at exactly @p limit still fire.
+     * @return true if the queue drained, false if stopped at the limit.
+     */
+    bool runUntil(Tick limit);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Tick of the earliest pending event, or kTickMax if none. */
+    Tick nextEventTime() const;
+
+    /** Number of pending events. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Total number of events dispatched so far (simulation-cost metric). */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+    /**
+     * Install a runaway guard: run()/runUntil() throw std::runtime_error
+     * once this many events have been dispatched.  0 disables (default).
+     * Livelocked simulations (e.g. an application spinning on a flag
+     * that is never set) otherwise run forever.
+     */
+    void setEventCap(std::uint64_t cap) { eventCap_ = cap; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void checkCap() const;
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t eventCap_ = 0;
+};
+
+} // namespace absim::sim
+
+#endif // ABSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,110 @@
+#include "sim/fiber.hh"
+
+#include <cassert>
+#include <cstdlib>
+#include <utility>
+
+namespace absim::sim {
+
+namespace {
+
+/// The fiber currently executing on this thread (nullptr = scheduler).
+thread_local Fiber *tl_current = nullptr;
+
+/// Recycled default-sized stacks (bounded).
+thread_local std::vector<std::unique_ptr<unsigned char[]>> tl_stack_pool;
+constexpr std::size_t kMaxPooledStacks = 128;
+
+} // namespace
+
+std::unique_ptr<unsigned char[]>
+Fiber::acquireStack(std::size_t bytes)
+{
+    if (bytes == kDefaultStackBytes && !tl_stack_pool.empty()) {
+        auto stack = std::move(tl_stack_pool.back());
+        tl_stack_pool.pop_back();
+        return stack;
+    }
+    // new[] of char leaves the memory uninitialized; a fiber stack needs
+    // no zeroing.
+    return std::unique_ptr<unsigned char[]>(new unsigned char[bytes]);
+}
+
+void
+Fiber::recycleStack(std::unique_ptr<unsigned char[]> stack,
+                    std::size_t bytes)
+{
+    if (bytes == kDefaultStackBytes &&
+        tl_stack_pool.size() < kMaxPooledStacks)
+        tl_stack_pool.push_back(std::move(stack));
+}
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)), stackBytes_(stack_bytes),
+      stack_(acquireStack(stack_bytes))
+{
+    assert(entry_ && "fiber needs an entry function");
+}
+
+Fiber::~Fiber()
+{
+    // A fiber destroyed mid-flight simply abandons its execution state;
+    // its stack memory is still recyclable.
+    recycleStack(std::move(stack_), stackBytes_);
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = tl_current;
+    assert(self != nullptr);
+    self->entry_();
+    self->finished_ = true;
+    // Return to the resumer; uc_link is set up to do this, but swapping
+    // explicitly keeps tl_current coherent.
+    tl_current = nullptr;
+    swapcontext(&self->context_, &self->returnContext_);
+    // Never reached.
+    std::abort();
+}
+
+void
+Fiber::resume()
+{
+    assert(!finished_ && "cannot resume a finished fiber");
+    assert(tl_current == nullptr &&
+           "fibers may only be resumed from the scheduler context");
+
+    if (!started_) {
+        started_ = true;
+        getcontext(&context_);
+        context_.uc_stack.ss_sp = stack_.get();
+        context_.uc_stack.ss_size = stackBytes_;
+        context_.uc_link = &returnContext_;
+        makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 0);
+    }
+    tl_current = this;
+    swapcontext(&returnContext_, &context_);
+    // Back in the scheduler: either the fiber yielded (tl_current reset in
+    // yield()) or it finished (reset in trampoline()).
+    assert(tl_current == nullptr);
+}
+
+void
+Fiber::yield()
+{
+    Fiber *self = tl_current;
+    assert(self != nullptr && "yield() called outside any fiber");
+    tl_current = nullptr;
+    swapcontext(&self->context_, &self->returnContext_);
+    // Resumed again.
+    assert(tl_current == self);
+}
+
+Fiber *
+Fiber::current()
+{
+    return tl_current;
+}
+
+} // namespace absim::sim

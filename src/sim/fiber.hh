@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal cooperative fibers built on POSIX ucontext.
+ *
+ * Each simulated process runs on its own fiber so that application code can
+ * make *blocking* calls into the memory system and network (the CSIM
+ * process-oriented style the paper's SPASM simulator is built on).  Fibers
+ * only ever switch to/from the scheduler fiber owned by the engine, never
+ * directly between each other; this keeps the switching discipline trivial
+ * to reason about.
+ */
+
+#ifndef ABSIM_SIM_FIBER_HH
+#define ABSIM_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace absim::sim {
+
+/**
+ * A single cooperative fiber with its own stack.
+ *
+ * The fiber starts executing its entry function on the first resume() and
+ * must eventually return from it; after that it is finished() and may not
+ * be resumed again.  Inside the entry function, Fiber::yield() suspends
+ * the fiber and returns control to whoever called resume().
+ */
+class Fiber
+{
+  public:
+    /** Default stack size: generous, since application code runs here. */
+    static constexpr std::size_t kDefaultStackBytes = 512 * 1024;
+
+    explicit Fiber(std::function<void()> entry,
+                   std::size_t stack_bytes = kDefaultStackBytes);
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Switch from the calling context into this fiber.  Returns when the
+     * fiber yields or its entry function returns.  Must not be called from
+     * inside any fiber other than the scheduler context.
+     */
+    void resume();
+
+    /**
+     * Suspend the currently running fiber, returning control to the
+     * context that called resume().  Must be called from inside a fiber.
+     */
+    static void yield();
+
+    /** The fiber currently executing, or nullptr if in the scheduler. */
+    static Fiber *current();
+
+    /** True once the entry function has returned. */
+    bool finished() const { return finished_; }
+
+  private:
+    static void trampoline();
+
+    /**
+     * Fiber stacks are recycled through a thread-local pool: simulations
+     * spawn thousands of short-lived helper processes (e.g. parallel
+     * invalidations) and allocating + faulting a fresh stack each time
+     * dominates the simulation cost otherwise.  Only default-sized
+     * stacks are pooled.
+     */
+    static std::unique_ptr<unsigned char[]> acquireStack(std::size_t bytes);
+    static void recycleStack(std::unique_ptr<unsigned char[]> stack,
+                             std::size_t bytes);
+
+    std::function<void()> entry_;
+    std::size_t stackBytes_;
+    std::unique_ptr<unsigned char[]> stack_;
+    ucontext_t context_;
+    ucontext_t returnContext_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace absim::sim
+
+#endif // ABSIM_SIM_FIBER_HH

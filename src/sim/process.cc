@@ -1,0 +1,92 @@
+#include "sim/process.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace absim::sim {
+
+namespace {
+
+thread_local Process *tl_current_process = nullptr;
+
+} // namespace
+
+Process::Process(EventQueue &eq, std::string name,
+                 std::function<void()> entry)
+    : eq_(eq), name_(std::move(name)),
+      fiber_([this, entry = std::move(entry)] {
+          tl_current_process = this;
+          entry();
+          tl_current_process = nullptr;
+      })
+{
+}
+
+void
+Process::start(Tick when)
+{
+    scheduleResume(when);
+}
+
+void
+Process::scheduleResume(Tick when)
+{
+    eq_.schedule(when, [this] {
+        Process *prev = tl_current_process;
+        fiber_.resume();
+        tl_current_process = prev;
+        if (fiber_.finished() && onFinish_) {
+            auto fin = std::move(onFinish_);
+            onFinish_ = nullptr;
+            fin(this); // May delete this; no member access after.
+        }
+    });
+}
+
+void
+Process::delayUntil(Tick when)
+{
+    assert(current() == this && "delayUntil from outside the process");
+    assert(when >= eq_.now());
+    scheduleResume(when);
+    tl_current_process = nullptr;
+    Fiber::yield();
+    tl_current_process = this;
+}
+
+void
+Process::suspend()
+{
+    assert(current() == this && "suspend from outside the process");
+    suspended_ = true;
+    tl_current_process = nullptr;
+    Fiber::yield();
+    tl_current_process = this;
+    assert(!suspended_);
+}
+
+void
+Process::wake()
+{
+    assert(suspended_ && "wake of a process that is not suspended");
+    suspended_ = false;
+    scheduleResume(eq_.now());
+}
+
+Process *
+Process::current()
+{
+    return tl_current_process;
+}
+
+Process *
+spawnDetached(EventQueue &eq, std::string name, std::function<void()> entry,
+              Tick when)
+{
+    auto *proc = new Process(eq, std::move(name), std::move(entry));
+    proc->setOnFinish([](Process *p) { delete p; });
+    proc->start(when);
+    return proc;
+}
+
+} // namespace absim::sim

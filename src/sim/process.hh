@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Simulated processes: fibers driven by the discrete-event engine.
+ *
+ * A Process couples a Fiber with an EventQueue so that code running inside
+ * the fiber can block in simulated time (delay, suspend) and be woken by
+ * events.  This is the process-oriented simulation primitive that CSIM
+ * provided to SPASM.
+ */
+
+#ifndef ABSIM_SIM_PROCESS_HH
+#define ABSIM_SIM_PROCESS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+#include "sim/types.hh"
+
+namespace absim::sim {
+
+/**
+ * A simulated process.
+ *
+ * The entry function runs on a private fiber.  Inside it, the process may
+ * call delay()/delayUntil() to advance simulated time, or suspend() to
+ * block until another party calls wake().
+ */
+class Process
+{
+  public:
+    /**
+     * Create a process.
+     *
+     * @param eq     Engine that drives this process.
+     * @param name   Debug name.
+     * @param entry  Body of the process; runs on the private fiber.
+     */
+    Process(EventQueue &eq, std::string name, std::function<void()> entry);
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    /** Schedule the first activation of the process at tick @p when. */
+    void start(Tick when = 0);
+
+    /**
+     * Block the calling process until the engine clock reaches @p when.
+     * Must be called from inside this process's fiber.
+     */
+    void delayUntil(Tick when);
+
+    /** Block the calling process for @p d ticks. */
+    void delay(Duration d) { delayUntil(eq_.now() + d); }
+
+    /**
+     * Block until wake() is called.  Must be called from inside this
+     * process's fiber.
+     */
+    void suspend();
+
+    /**
+     * Wake a suspended process; it resumes at the current engine time.
+     * Must be called from the scheduler context or another fiber (the
+     * wake-up is delivered through the event queue either way).
+     */
+    void wake();
+
+    /** The process currently running on this thread, if any. */
+    static Process *current();
+
+    /**
+     * Install a hook invoked from the scheduler context right after the
+     * process's entry function returns.  The hook may delete the process
+     * (this is how detached helpers clean themselves up).
+     */
+    void setOnFinish(std::function<void(Process *)> f)
+    {
+        onFinish_ = std::move(f);
+    }
+
+    const std::string &name() const { return name_; }
+    bool finished() const { return fiber_.finished(); }
+    EventQueue &engine() { return eq_; }
+
+  private:
+    void scheduleResume(Tick when);
+
+    EventQueue &eq_;
+    std::string name_;
+    Fiber fiber_;
+    bool suspended_ = false;
+    std::function<void(Process *)> onFinish_;
+};
+
+/**
+ * Spawn a detached helper process that deletes itself on completion.
+ *
+ * Used for concurrent activities with no owner that must outlive the
+ * spawning call frame (e.g. parallel invalidation messages).  The caller
+ * can rendezvous with helpers via Counter / Condition primitives.
+ *
+ * @return A non-owning pointer, valid until the entry function returns.
+ */
+Process *spawnDetached(EventQueue &eq, std::string name,
+                       std::function<void()> entry, Tick when);
+
+} // namespace absim::sim
+
+#endif // ABSIM_SIM_PROCESS_HH

@@ -1,0 +1,81 @@
+#include "sim/resource.hh"
+
+#include <cassert>
+
+namespace absim::sim {
+
+Duration
+FifoMutex::acquire()
+{
+    Process *self = Process::current();
+    assert(self && "FifoMutex::acquire outside a process");
+    if (!locked_ && waiters_.empty()) {
+        locked_ = true;
+        return 0;
+    }
+    Tick began = self->engine().now();
+    waiters_.push_back(self);
+    self->suspend();
+    // Woken by release(): the mutex was handed to us directly.
+    assert(locked_);
+    Duration waited = self->engine().now() - began;
+    totalWait_ += waited;
+    return waited;
+}
+
+void
+FifoMutex::release()
+{
+    assert(locked_ && "release of an unlocked FifoMutex");
+    if (waiters_.empty()) {
+        locked_ = false;
+        return;
+    }
+    // Hand-off: stays locked, next waiter becomes the owner.
+    Process *next = waiters_.front();
+    waiters_.pop_front();
+    next->wake();
+}
+
+void
+Condition::wait()
+{
+    Process *self = Process::current();
+    assert(self && "Condition::wait outside a process");
+    waiters_.push_back(self);
+    self->suspend();
+}
+
+void
+Condition::notifyAll()
+{
+    std::deque<Process *> woken;
+    woken.swap(waiters_);
+    for (Process *p : woken)
+        p->wake();
+}
+
+void
+Latch::countDown()
+{
+    assert(count_ > 0);
+    if (--count_ == 0 && waiter_ != nullptr) {
+        Process *w = waiter_;
+        waiter_ = nullptr;
+        w->wake();
+    }
+}
+
+void
+Latch::await()
+{
+    Process *self = Process::current();
+    assert(self && "Latch::await outside a process");
+    assert(waiter_ == nullptr && "Latch supports a single waiter");
+    if (count_ == 0)
+        return;
+    waiter_ = self;
+    self->suspend();
+}
+
+} // namespace absim::sim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Blocking resources in simulated time: a FIFO mutex, a condition, and a
+ * countdown latch.  These are *simulator* primitives (used by the network
+ * and coherence protocol); application-level synchronization (spin locks,
+ * barriers) is built on simulated shared memory in src/runtime instead, so
+ * that its cost is visible to the machine models exactly as the paper
+ * requires.
+ */
+
+#ifndef ABSIM_SIM_RESOURCE_HH
+#define ABSIM_SIM_RESOURCE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/process.hh"
+#include "sim/types.hh"
+
+namespace absim::sim {
+
+/**
+ * A mutex with strict FIFO grant order in simulated time.
+ *
+ * acquire() blocks the calling process until the mutex is free and every
+ * earlier requester has been served.  The return value reports how long the
+ * caller waited, which the network uses as its contention measure.
+ */
+class FifoMutex
+{
+  public:
+    FifoMutex() = default;
+    FifoMutex(const FifoMutex &) = delete;
+    FifoMutex &operator=(const FifoMutex &) = delete;
+
+    /**
+     * Acquire the mutex, blocking in simulated time.
+     * @return Ticks spent waiting (0 if the mutex was free).
+     */
+    Duration acquire();
+
+    /** Release the mutex, waking the next waiter if any. */
+    void release();
+
+    bool locked() const { return locked_; }
+    std::size_t waiters() const { return waiters_.size(); }
+
+    /** Cumulative ticks all acquirers have spent waiting. */
+    Duration totalWait() const { return totalWait_; }
+
+  private:
+    bool locked_ = false;
+    std::deque<Process *> waiters_;
+    Duration totalWait_ = 0;
+};
+
+/**
+ * A broadcast condition: processes block on wait() until someone calls
+ * notifyAll().  There is no predicate; callers re-check their own state.
+ */
+class Condition
+{
+  public:
+    /** Block the calling process until the next notifyAll(). */
+    void wait();
+
+    /** Wake every currently blocked process. */
+    void notifyAll();
+
+    std::size_t waiters() const { return waiters_.size(); }
+
+  private:
+    std::deque<Process *> waiters_;
+};
+
+/**
+ * Countdown latch: await() blocks until the internal count reaches zero.
+ * Used to rendezvous with detached helper processes (e.g. a write miss
+ * waiting for all its parallel invalidations to be acknowledged).
+ */
+class Latch
+{
+  public:
+    explicit Latch(std::uint32_t count) : count_(count) {}
+
+    /** Decrement; wakes the waiter when the count hits zero. */
+    void countDown();
+
+    /** Block the calling process until the count is zero. */
+    void await();
+
+  private:
+    std::uint32_t count_;
+    Process *waiter_ = nullptr;
+};
+
+} // namespace absim::sim
+
+#endif // ABSIM_SIM_RESOURCE_HH

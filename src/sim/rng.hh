@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * Applications must produce identical reference streams on every machine
+ * characterization and across runs, so they use this self-contained
+ * SplitMix64/xoshiro256** implementation instead of std::mt19937 (whose
+ * distributions are not guaranteed bit-stable across standard libraries).
+ */
+
+#ifndef ABSIM_SIM_RNG_HH
+#define ABSIM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace absim::sim {
+
+/** SplitMix64 step, used for seeding. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator: fast, high quality, trivially reproducible.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next 64 uniformly distributed bits. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style rejection-free-enough reduction; bias is < 2^-64
+        // per draw, irrelevant for workload generation.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace absim::sim
+
+#endif // ABSIM_SIM_RNG_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Lightweight category-based tracing (the gem5 DPRINTF idiom).
+ *
+ * Tracing is off by default and costs one branch per site.  Tests and
+ * debugging sessions enable categories and install a sink:
+ *
+ *     sim::Trace::instance().enable(sim::TraceCategory::Protocol);
+ *     sim::Trace::instance().setSink(&std::cerr);
+ *     ...
+ *     ABSIM_TRACE(eq, Protocol, "read miss blk=" << blk);
+ */
+
+#ifndef ABSIM_SIM_TRACE_HH
+#define ABSIM_SIM_TRACE_HH
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+
+#include "sim/types.hh"
+
+namespace absim::sim {
+
+/** Trace categories, one bit each. */
+enum class TraceCategory : std::uint32_t
+{
+    Protocol = 1u << 0, ///< Directory/coherence transactions.
+    Network = 1u << 1,  ///< Link-level transfers.
+    LogP = 1u << 2,     ///< LogP message timing.
+    Runtime = 1u << 3,  ///< Processor-level events.
+};
+
+/** Global trace configuration and sink. */
+class Trace
+{
+  public:
+    static Trace &
+    instance()
+    {
+        static Trace trace;
+        return trace;
+    }
+
+    void
+    enable(TraceCategory category)
+    {
+        mask_ |= static_cast<std::uint32_t>(category);
+    }
+
+    void
+    disable(TraceCategory category)
+    {
+        mask_ &= ~static_cast<std::uint32_t>(category);
+    }
+
+    void disableAll() { mask_ = 0; }
+
+    bool
+    enabled(TraceCategory category) const
+    {
+        return (mask_ & static_cast<std::uint32_t>(category)) != 0;
+    }
+
+    /** Sink defaults to std::cerr; never null. */
+    void setSink(std::ostream *sink) { sink_ = sink ? sink : &std::cerr; }
+    std::ostream &sink() { return *sink_; }
+
+    /** Emit one line: "<tick>: <category>: <message>". */
+    void
+    emit(Tick now, const char *category, const std::string &message)
+    {
+        (*sink_) << now << ": " << category << ": " << message << "\n";
+    }
+
+  private:
+    Trace() = default;
+
+    std::uint32_t mask_ = 0;
+    std::ostream *sink_ = &std::cerr;
+};
+
+/**
+ * Trace site macro: evaluates the streamed expression only when the
+ * category is enabled.
+ *
+ * @param eq   An EventQueue (for the timestamp).
+ * @param cat  A TraceCategory enumerator name (unqualified).
+ * @param expr An ostream expression chain.
+ */
+#define ABSIM_TRACE(eq, cat, expr) ABSIM_TRACE_AT((eq).now(), cat, expr)
+
+/** Like ABSIM_TRACE but with an explicit timestamp. */
+#define ABSIM_TRACE_AT(tick, cat, expr)                                    \
+    do {                                                                   \
+        auto &trace_ = ::absim::sim::Trace::instance();                    \
+        if (trace_.enabled(::absim::sim::TraceCategory::cat)) {            \
+            std::ostringstream oss_;                                       \
+            oss_ << expr;                                                  \
+            trace_.emit((tick), #cat, oss_.str());                         \
+        }                                                                  \
+    } while (0)
+
+} // namespace absim::sim
+
+#endif // ABSIM_SIM_TRACE_HH

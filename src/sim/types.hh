@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental simulated-time types and machine constants shared by every
+ * subsystem of the simulator.
+ *
+ * The simulator counts time in integer nanoseconds.  The paper's baseline
+ * processor is a 33 MHz SPARC; we round the cycle to 30 ns so that all
+ * derived quantities stay exact integers (the 1% clock error is irrelevant
+ * to every result, which depends only on relative costs).
+ */
+
+#ifndef ABSIM_SIM_TYPES_HH
+#define ABSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace absim::sim {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** A simulated-time duration, also in nanoseconds. */
+using Duration = std::uint64_t;
+
+/** Largest representable tick, used as "never". */
+inline constexpr Tick kTickMax = ~Tick{0};
+
+/** One processor cycle of the paper's 33 MHz baseline CPU (Section 5). */
+inline constexpr Duration kCycleNs = 30;
+
+/** Convert a cycle count into ticks. */
+constexpr Duration
+cycles(std::uint64_t n)
+{
+    return n * kCycleNs;
+}
+
+/** Convert microseconds into ticks. */
+constexpr Duration
+micros(std::uint64_t n)
+{
+    return n * 1000;
+}
+
+} // namespace absim::sim
+
+#endif // ABSIM_SIM_TYPES_HH

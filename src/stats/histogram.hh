@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Power-of-two bucketed histogram for latency/size distributions.
+ *
+ * Mean overheads hide tails; the paper's contention story is largely a
+ * tail story (hot spots, convoys).  Every Proc records the distribution
+ * of its networked-access round-trip times here, reported by run_cli
+ * and usable from tests.
+ */
+
+#ifndef ABSIM_STATS_HISTOGRAM_HH
+#define ABSIM_STATS_HISTOGRAM_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace absim::stats {
+
+/**
+ * Log2-bucketed histogram: bucket b counts samples in [2^b, 2^(b+1)),
+ * with bucket 0 also holding zero.
+ */
+class Histogram
+{
+  public:
+    static constexpr std::uint32_t kBuckets = 40;
+
+    void
+    record(std::uint64_t value)
+    {
+        ++counts_[bucketOf(value)];
+        sum_ += value;
+        ++samples_;
+        if (value > max_)
+            max_ = value;
+    }
+
+    static std::uint32_t
+    bucketOf(std::uint64_t value)
+    {
+        if (value == 0)
+            return 0;
+        const auto b =
+            static_cast<std::uint32_t>(std::bit_width(value) - 1);
+        return b < kBuckets ? b : kBuckets - 1;
+    }
+
+    /** Inclusive lower bound of bucket @p b. */
+    static std::uint64_t
+    bucketFloor(std::uint32_t b)
+    {
+        return b == 0 ? 0 : (std::uint64_t{1} << b);
+    }
+
+    std::uint64_t count(std::uint32_t bucket) const
+    {
+        return counts_[bucket];
+    }
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return samples_ ? static_cast<double>(sum_) /
+                              static_cast<double>(samples_)
+                        : 0.0;
+    }
+
+    /** Smallest value v such that >= quantile of samples are <= bucket
+     *  ceiling of v's bucket (bucket-resolution quantile). */
+    std::uint64_t
+    approxQuantile(double quantile) const
+    {
+        if (samples_ == 0)
+            return 0;
+        const auto target = static_cast<std::uint64_t>(
+            quantile * static_cast<double>(samples_));
+        std::uint64_t seen = 0;
+        for (std::uint32_t b = 0; b < kBuckets; ++b) {
+            seen += counts_[b];
+            if (seen > target)
+                return bucketFloor(b + 1) - 1; // Bucket ceiling.
+        }
+        return max_;
+    }
+
+    void
+    merge(const Histogram &other)
+    {
+        for (std::uint32_t b = 0; b < kBuckets; ++b)
+            counts_[b] += other.counts_[b];
+        sum_ += other.sum_;
+        samples_ += other.samples_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t sum_ = 0;
+    std::uint64_t samples_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace absim::stats
+
+#endif // ABSIM_STATS_HISTOGRAM_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared fixture for machine-model tests: builds engine + heap + machine
+ * + runtime and runs scripted per-processor workloads.
+ */
+
+#ifndef ABSIM_TESTS_MACHINE_FIXTURE_HH
+#define ABSIM_TESTS_MACHINE_FIXTURE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "machines/logp_c_machine.hh"
+#include "machines/logp_machine.hh"
+#include "machines/target_machine.hh"
+#include "runtime/context.hh"
+#include "runtime/shared.hh"
+#include "sim/event_queue.hh"
+
+namespace absim::test {
+
+class MachineHarness
+{
+  public:
+    MachineHarness(mach::MachineKind kind, net::TopologyKind topo,
+                   std::uint32_t procs,
+                   logp::GapPolicy policy = logp::GapPolicy::Single)
+        : heap(procs)
+    {
+        switch (kind) {
+          case mach::MachineKind::Target:
+            machine = std::make_unique<mach::TargetMachine>(eq, topo,
+                                                            procs, heap);
+            break;
+          case mach::MachineKind::LogP:
+            machine = std::make_unique<mach::LogPMachine>(
+                eq, topo, procs, heap, policy);
+            break;
+          case mach::MachineKind::LogPC:
+            machine = std::make_unique<mach::LogPCMachine>(
+                eq, topo, procs, heap, policy);
+            break;
+        }
+        runtime = std::make_unique<rt::Runtime>(eq, *machine, procs);
+    }
+
+    /** Run @p body on every processor to completion. */
+    void
+    run(std::function<void(rt::Proc &)> body)
+    {
+        runtime->spawn(std::move(body));
+        runtime->run();
+    }
+
+    mach::TargetMachine &
+    target()
+    {
+        return dynamic_cast<mach::TargetMachine &>(*machine);
+    }
+
+    mach::LogPCMachine &
+    logpc()
+    {
+        return dynamic_cast<mach::LogPCMachine &>(*machine);
+    }
+
+    sim::EventQueue eq;
+    rt::SharedHeap heap;
+    std::unique_ptr<mach::Machine> machine;
+    std::unique_ptr<rt::Runtime> runtime;
+};
+
+} // namespace absim::test
+
+#endif // ABSIM_TESTS_MACHINE_FIXTURE_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Application correctness across every machine characterization: a
+ * parameterized (app x machine x P) sweep verifying each kernel's
+ * numerical result, plus the paper's cross-machine relationships
+ * (identical results everywhere, LogP+C traffic at most the target's,
+ * full timing accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.hh"
+
+namespace {
+
+using namespace absim;
+using core::RunConfig;
+
+apps::AppParams
+smallParams(const std::string &app)
+{
+    apps::AppParams params;
+    if (app == "ep")
+        params.n = 2048;
+    else if (app == "fft")
+        params.n = 256;
+    else if (app == "is")
+        params.n = 1024;
+    else if (app == "cg") {
+        params.n = 128;
+        params.iterations = 3;
+    } else if (app == "cholesky") {
+        params.n = 64;
+    } else if (app == "stencil") {
+        params.n = 32;
+        params.iterations = 3;
+    } else if (app == "radix") {
+        params.n = 512;
+    }
+    return params;
+}
+
+TEST(AppRegistry, KnowsAllFiveApplications)
+{
+    const auto names = apps::appNames();
+    ASSERT_EQ(names.size(), 5u);
+    for (const auto &name : names)
+        EXPECT_EQ(apps::makeApp(name)->name(), name);
+    EXPECT_THROW(apps::makeApp("mp3d"), std::invalid_argument);
+}
+
+TEST(AppRegistry, ExtensionAppsAreSeparate)
+{
+    for (const auto &name : apps::extensionAppNames()) {
+        EXPECT_EQ(apps::makeApp(name)->name(), name);
+        for (const auto &paper : apps::appNames())
+            EXPECT_NE(name, paper);
+    }
+}
+
+class AppMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, mach::MachineKind, std::uint32_t>>
+{
+};
+
+TEST_P(AppMatrix, ComputesVerifiedResult)
+{
+    const auto &[app, machine, procs] = GetParam();
+    RunConfig config;
+    config.app = app;
+    config.params = smallParams(app);
+    config.machine = machine;
+    config.topology = net::TopologyKind::Hypercube;
+    config.procs = procs;
+    config.checkResult = true; // runOne throws if the kernel is wrong.
+    const auto profile = core::runOne(config);
+
+    // Full accounting: every tick of every processor categorized.
+    ASSERT_EQ(profile.procs.size(), procs);
+    for (std::uint32_t n = 0; n < procs; ++n) {
+        const auto &s = profile.procs[n];
+        EXPECT_EQ(s.finishTime, s.busy + s.latency + s.contention)
+            << app << " proc " << n;
+    }
+    EXPECT_GT(profile.execTime(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, AppMatrix,
+    ::testing::Combine(
+        ::testing::Values("ep", "fft", "is", "cg", "cholesky", "stencil",
+                          "radix"),
+        ::testing::Values(mach::MachineKind::Target,
+                          mach::MachineKind::LogP,
+                          mach::MachineKind::LogPC),
+        ::testing::Values(1u, 2u, 4u)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               mach::toString(std::get<1>(info.param)).substr(0, 4) +
+               (mach::toString(std::get<1>(info.param)).size() > 4 ? "C"
+                                                                   : "") +
+               "_p" + std::to_string(std::get<2>(info.param));
+    });
+
+class AppRelations : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    stats::Profile
+    runOn(mach::MachineKind machine)
+    {
+        RunConfig config;
+        config.app = GetParam();
+        config.params = smallParams(GetParam());
+        config.machine = machine;
+        config.topology = net::TopologyKind::Full;
+        config.procs = 4;
+        return core::runOne(config);
+    }
+};
+
+TEST_P(AppRelations, IdealCacheTrafficAtMostTarget)
+{
+    // LogP+C models the minimum messages any invalidation protocol could
+    // hope to achieve (paper Section 3.2).
+    const auto target = runOn(mach::MachineKind::Target);
+    const auto logpc = runOn(mach::MachineKind::LogPC);
+    EXPECT_LE(logpc.machine.messages, target.machine.messages);
+}
+
+TEST_P(AppRelations, DeterministicAcrossRepeats)
+{
+    const auto a = runOn(mach::MachineKind::Target);
+    const auto b = runOn(mach::MachineKind::Target);
+    EXPECT_EQ(a.execTime(), b.execTime());
+    EXPECT_EQ(a.machine.messages, b.machine.messages);
+    EXPECT_EQ(a.engineEvents, b.engineEvents);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AppRelations,
+                         ::testing::Values("ep", "fft", "is", "cg",
+                                           "cholesky", "stencil",
+                                           "radix"));
+
+TEST(AppSingleProc, NoNetworkTrafficAtP1)
+{
+    for (const auto &app : apps::appNames()) {
+        RunConfig config;
+        config.app = app;
+        config.params = smallParams(app);
+        config.machine = mach::MachineKind::Target;
+        config.procs = 1;
+        const auto profile = core::runOne(config);
+        EXPECT_EQ(profile.machine.messages, 0u) << app;
+        EXPECT_EQ(profile.procs[0].latency, 0u) << app;
+        EXPECT_EQ(profile.procs[0].contention, 0u) << app;
+    }
+}
+
+TEST(AppScaling, EpSpeedsUpNearlyLinearly)
+{
+    // EP is embarrassingly parallel: computation dominates, so exec
+    // time at P=4 should be close to a quarter of P=1.
+    RunConfig config;
+    config.app = "ep";
+    config.params = smallParams("ep");
+    config.machine = mach::MachineKind::Target;
+    config.procs = 1;
+    const double t1 = static_cast<double>(core::runOne(config).execTime());
+    config.procs = 4;
+    const double t4 = static_cast<double>(core::runOne(config).execTime());
+    EXPECT_LT(t4, t1 / 3.0);
+    EXPECT_GT(t4, t1 / 5.0);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the curve-agreement metrics and the Profile statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compare.hh"
+#include "stats/overheads.hh"
+
+namespace {
+
+using namespace absim;
+
+TEST(TrendAgreement, IdenticalCurvesScoreOne)
+{
+    const std::vector<double> v{1, 3, 2, 8, 5};
+    EXPECT_DOUBLE_EQ(core::trendAgreement(v, v), 1.0);
+}
+
+TEST(TrendAgreement, ScaledCurvesScoreOne)
+{
+    const std::vector<double> a{1, 3, 2, 8, 5};
+    const std::vector<double> b{10, 30, 20, 80, 50};
+    EXPECT_DOUBLE_EQ(core::trendAgreement(a, b), 1.0);
+}
+
+TEST(TrendAgreement, ReversedCurvesScoreMinusOne)
+{
+    const std::vector<double> a{1, 2, 3, 4};
+    const std::vector<double> b{4, 3, 2, 1};
+    EXPECT_DOUBLE_EQ(core::trendAgreement(a, b), -1.0);
+}
+
+TEST(TrendAgreement, FlatCurveAgreesWithAnything)
+{
+    const std::vector<double> flat{5, 5, 5};
+    const std::vector<double> rising{1, 2, 3};
+    EXPECT_DOUBLE_EQ(core::trendAgreement(flat, rising), 1.0);
+}
+
+TEST(TrendAgreement, ShortCurvesTriviallyAgree)
+{
+    EXPECT_DOUBLE_EQ(core::trendAgreement({1}, {9}), 1.0);
+    EXPECT_DOUBLE_EQ(core::trendAgreement({}, {}), 1.0);
+}
+
+TEST(MeanRatio, ComputesAverageOfPointwiseRatios)
+{
+    const std::vector<double> a{1, 2, 4};
+    const std::vector<double> b{2, 4, 8};
+    EXPECT_DOUBLE_EQ(core::meanRatio(a, b), 2.0);
+}
+
+TEST(MeanRatio, SkipsZeroBaselines)
+{
+    const std::vector<double> a{0, 2};
+    const std::vector<double> b{7, 6};
+    EXPECT_DOUBLE_EQ(core::meanRatio(a, b), 3.0);
+}
+
+TEST(MaxRelGap, FindsWorstPoint)
+{
+    const std::vector<double> a{10, 10, 10};
+    const std::vector<double> b{10, 5, 9};
+    EXPECT_DOUBLE_EQ(core::maxRelGap(a, b), 0.5);
+}
+
+TEST(Profile, ExecTimeIsMaxFinish)
+{
+    stats::Profile p;
+    p.procs.resize(3);
+    p.procs[0].finishTime = 100;
+    p.procs[1].finishTime = 300;
+    p.procs[2].finishTime = 200;
+    EXPECT_EQ(p.execTime(), 300u);
+}
+
+TEST(Profile, MeansAndTotals)
+{
+    stats::Profile p;
+    p.procs.resize(2);
+    p.procs[0].busy = 10;
+    p.procs[0].latency = 20;
+    p.procs[0].contention = 30;
+    p.procs[1].busy = 30;
+    p.procs[1].latency = 40;
+    p.procs[1].contention = 50;
+    EXPECT_DOUBLE_EQ(p.meanBusy(), 20.0);
+    EXPECT_DOUBLE_EQ(p.meanLatency(), 30.0);
+    EXPECT_DOUBLE_EQ(p.meanContention(), 40.0);
+    EXPECT_EQ(p.totalLatency(), 60u);
+    EXPECT_EQ(p.totalContention(), 80u);
+}
+
+TEST(Profile, EmptyProfileIsZero)
+{
+    stats::Profile p;
+    EXPECT_EQ(p.execTime(), 0u);
+    EXPECT_DOUBLE_EQ(p.meanBusy(), 0.0);
+}
+
+TEST(ProcStats, TotalSumsBuckets)
+{
+    stats::ProcStats s;
+    s.busy = 1;
+    s.latency = 2;
+    s.contention = 3;
+    EXPECT_EQ(s.total(), 6u);
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Mechanical checks of the extension results recorded in EXPERIMENTS.md:
+ * the locality-aware gap policy's effect on the stencil, and profile
+ * consistency properties that every extension workload must satisfy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace {
+
+using namespace absim;
+
+double
+stencilContention(logp::GapPolicy policy, mach::MachineKind machine)
+{
+    core::RunConfig config;
+    config.app = "stencil";
+    config.params.n = 32;
+    config.params.iterations = 3;
+    config.machine = machine;
+    config.gapPolicy = policy;
+    config.topology = net::TopologyKind::Mesh2D;
+    config.procs = 16;
+    return core::runOne(config).meanContention();
+}
+
+TEST(ExtensionClaims, LocalityAwareGateRepairsStencilPessimism)
+{
+    const double target = stencilContention(logp::GapPolicy::Single,
+                                            mach::MachineKind::Target);
+    const double single = stencilContention(logp::GapPolicy::Single,
+                                            mach::MachineKind::LogPC);
+    const double bisect = stencilContention(
+        logp::GapPolicy::BisectionOnly, mach::MachineKind::LogPC);
+    // Standard g: heavy pessimism.  Locality-aware: a large recovery.
+    EXPECT_GT(single, 2.0 * target);
+    EXPECT_LT(bisect, single / 2.0);
+}
+
+TEST(ExtensionClaims, ExtensionAppsSatisfyTimingInvariant)
+{
+    for (const auto &app : apps::extensionAppNames()) {
+        core::RunConfig config;
+        config.app = app;
+        config.params.n = app == "stencil" ? 32 : 512;
+        config.params.iterations = 2;
+        config.machine = mach::MachineKind::Target;
+        config.procs = 4;
+        const auto profile = core::runOne(config);
+        for (const auto &s : profile.procs)
+            EXPECT_EQ(s.finishTime,
+                      s.busy + s.latency + s.contention + s.wait)
+                << app;
+        // Phase partition: phases must cover the totals exactly.
+        for (std::size_t n = 0; n < profile.procs.size(); ++n) {
+            sim::Duration busy = 0, lat = 0, cont = 0;
+            for (const auto &phase : profile.procPhases[n]) {
+                busy += phase.busy;
+                lat += phase.latency;
+                cont += phase.contention;
+            }
+            EXPECT_EQ(busy, profile.procs[n].busy) << app;
+            EXPECT_EQ(lat, profile.procs[n].latency) << app;
+            EXPECT_EQ(cont, profile.procs[n].contention) << app;
+        }
+    }
+}
+
+TEST(ExtensionClaims, StencilCommunicationIsNearNeighborOnly)
+{
+    // With blocked rows, a stencil processor only ever touches its two
+    // neighbours' partitions: on the LogP machine with bisection-only
+    // gating on the *hypercube* (address-halves cut), only the two
+    // processors adjacent to the cut produce gated traffic.
+    core::RunConfig config;
+    config.app = "stencil";
+    config.params.n = 32;
+    config.params.iterations = 2;
+    config.machine = mach::MachineKind::LogP;
+    config.gapPolicy = logp::GapPolicy::BisectionOnly;
+    config.topology = net::TopologyKind::Hypercube;
+    config.procs = 8;
+    const auto profile = core::runOne(config);
+    std::uint32_t gated_procs = 0;
+    for (const auto &s : profile.procs)
+        if (s.contention > 0)
+            ++gated_procs;
+    // Nodes 3 and 4 straddle the cut (plus barrier traffic to node 0's
+    // sync words, which crosses for nodes 4..7).  The key claim: far
+    // fewer processors pay contention than under the single gate.
+    config.gapPolicy = logp::GapPolicy::Single;
+    const auto single = core::runOne(config);
+    std::uint32_t single_gated = 0;
+    for (const auto &s : single.procs)
+        if (s.contention > 0)
+            ++single_gated;
+    EXPECT_LT(gated_procs, single_gated);
+}
+
+TEST(ExtensionClaims, RadixHeavierThanIsPerKey)
+{
+    // RADIX does two passes of IS-like work: per key, its remote
+    // traffic on the LogP machine must exceed single-pass IS's.
+    auto messages_per_key = [](const char *app, std::uint64_t n) {
+        core::RunConfig config;
+        config.app = app;
+        config.params.n = n;
+        config.machine = mach::MachineKind::LogP;
+        config.procs = 4;
+        return static_cast<double>(
+                   core::runOne(config).machine.messages) /
+               static_cast<double>(n);
+    };
+    EXPECT_GT(messages_per_key("radix", 1024),
+              messages_per_key("is", 1024));
+}
+
+} // namespace

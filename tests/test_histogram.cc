@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the log2 histogram and its integration into profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "stats/histogram.hh"
+
+namespace {
+
+using namespace absim;
+using stats::Histogram;
+
+TEST(Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 0u);
+    EXPECT_EQ(Histogram::bucketOf(2), 1u);
+    EXPECT_EQ(Histogram::bucketOf(3), 1u);
+    EXPECT_EQ(Histogram::bucketOf(4), 2u);
+    EXPECT_EQ(Histogram::bucketOf(1023), 9u);
+    EXPECT_EQ(Histogram::bucketOf(1024), 10u);
+    EXPECT_EQ(Histogram::bucketFloor(0), 0u);
+    EXPECT_EQ(Histogram::bucketFloor(10), 1024u);
+}
+
+TEST(Histogram, RecordsMeanMaxAndCounts)
+{
+    Histogram h;
+    h.record(100);
+    h.record(200);
+    h.record(300);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.max(), 300u);
+    EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+    EXPECT_EQ(h.count(Histogram::bucketOf(100)), 1u); // [64, 128)
+    EXPECT_EQ(h.count(Histogram::bucketOf(200)), 1u); // [128, 256)
+    EXPECT_EQ(h.count(Histogram::bucketOf(300)), 1u); // [256, 512)
+}
+
+TEST(Histogram, QuantilesAreBucketResolution)
+{
+    Histogram h;
+    for (int i = 0; i < 99; ++i)
+        h.record(10); // Bucket 3: [8, 16).
+    h.record(100000);
+    EXPECT_LT(h.approxQuantile(0.5), 16u);
+    EXPECT_GE(h.approxQuantile(0.999), 65536u);
+    EXPECT_EQ(h.approxQuantile(0.0), 15u); // First bucket's ceiling.
+}
+
+TEST(Histogram, MergeCombines)
+{
+    Histogram a, b;
+    a.record(5);
+    b.record(500);
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 2u);
+    EXPECT_EQ(a.max(), 500u);
+    EXPECT_DOUBLE_EQ(a.mean(), 252.5);
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.approxQuantile(0.5), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ProfileCollectsRemoteAccessDistribution)
+{
+    core::RunConfig config;
+    config.app = "is";
+    config.params.n = 1024;
+    config.machine = mach::MachineKind::Target;
+    config.procs = 4;
+    const auto profile = core::runOne(config);
+    EXPECT_EQ(profile.remoteLatency.samples(),
+              profile.machine.networkAccesses);
+    // The cheapest networked transaction is a sharer-free upgrade:
+    // request + grant = 800 ns (bucket ceiling 1023).
+    EXPECT_GE(profile.remoteLatency.approxQuantile(0.01), 800u);
+}
+
+TEST(Histogram, LogPDistributionConcentratedAtRoundTrip)
+{
+    core::RunConfig config;
+    config.app = "synthetic";
+    config.params.variant = "neighbor";
+    config.params.n = 64;
+    config.machine = mach::MachineKind::LogP;
+    config.topology = net::TopologyKind::Full;
+    config.procs = 2;
+    const auto profile = core::runOne(config);
+    // Remote RMW round trips: 2L + gate waits; all samples land in a
+    // narrow band starting at 3200.
+    EXPECT_GT(profile.remoteLatency.samples(), 0u);
+    EXPECT_GE(profile.remoteLatency.approxQuantile(0.01), 3200u);
+}
+
+} // namespace

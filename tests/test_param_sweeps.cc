@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Parameterized sweeps that push the machinery across its whole
+ * configuration space: application sizes, synchronization scale, LogP
+ * policies x topologies, and heap shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.hh"
+#include "machine_fixture.hh"
+#include "runtime/sync.hh"
+
+namespace {
+
+using namespace absim;
+using absim::test::MachineHarness;
+using mach::MachineKind;
+using net::TopologyKind;
+
+// ---- Application sizes --------------------------------------------------
+
+class AppSizes
+    : public ::testing::TestWithParam<std::tuple<std::string,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(AppSizes, VerifiedAtEverySize)
+{
+    const auto &[app, scale] = GetParam();
+    core::RunConfig config;
+    config.app = app;
+    config.machine = MachineKind::LogPC;
+    config.procs = 4;
+    // Scale knob: n doubles from a per-app base.
+    if (app == "fft")
+        config.params.n = 128 << scale;
+    else if (app == "is")
+        config.params.n = 512 << scale;
+    else if (app == "cg")
+        config.params.n = 64 << scale;
+    else if (app == "radix")
+        config.params.n = 256 << scale;
+    else if (app == "stencil")
+        config.params.n = 16 << scale;
+    EXPECT_NO_THROW(core::runOne(config))
+        << app << " at scale " << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AppSizes,
+    ::testing::Combine(::testing::Values("fft", "is", "cg", "radix",
+                                         "stencil"),
+                       ::testing::Values(0u, 1u, 2u)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_x" +
+               std::to_string(1u << std::get<1>(info.param));
+    });
+
+// ---- Synchronization at scale -------------------------------------------
+
+class SyncScale : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SyncScale, LockMutualExclusionManyProcs)
+{
+    const std::uint32_t procs = GetParam();
+    MachineHarness h(MachineKind::Target, TopologyKind::Mesh2D, procs);
+    rt::SharedArray<std::uint64_t> value(h.heap, 1,
+                                         rt::Placement::OnNode, 0);
+    rt::SpinLock lock(h.heap, procs - 1);
+    value.raw(0) = 0;
+    h.run([&](rt::Proc &p) {
+        for (int i = 0; i < 4; ++i) {
+            lock.lock(p);
+            const std::uint64_t v = value.read(p, 0);
+            p.compute(15);
+            value.write(p, 0, v + 1);
+            lock.unlock(p);
+        }
+    });
+    EXPECT_EQ(value.raw(0), 4u * procs);
+}
+
+TEST_P(SyncScale, BarrierPhasesStayAligned)
+{
+    const std::uint32_t procs = GetParam();
+    MachineHarness h(MachineKind::LogPC, TopologyKind::Hypercube, procs);
+    rt::Barrier barrier(h.heap, procs);
+    rt::SharedArray<std::uint64_t> counter(h.heap, 4,
+                                           rt::Placement::OnNode, 0);
+    counter.raw(0) = 0;
+    bool ok = true;
+    h.run([&](rt::Proc &p) {
+        for (std::uint64_t phase = 1; phase <= 3; ++phase) {
+            p.compute((p.node() * 37) % 211); // Skew arrivals.
+            counter.fetchAdd(p, 0, 1);
+            barrier.arrive(p);
+            if (counter.read(p, 0) != phase * procs)
+                ok = false;
+            barrier.arrive(p);
+        }
+    });
+    EXPECT_TRUE(ok) << "P=" << procs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scale, SyncScale,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+// ---- LogP round trips across topology x policy --------------------------
+
+class LogPMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<TopologyKind, logp::GapPolicy>>
+{
+};
+
+TEST_P(LogPMatrix, RoundTripLatencyAlwaysTwoL)
+{
+    const auto [topo, policy] = GetParam();
+    MachineHarness h(MachineKind::LogP, topo, 8, policy);
+    rt::SharedArray<std::uint64_t> a(h.heap, 4, rt::Placement::OnNode, 5);
+    h.run([&](rt::Proc &p) {
+        if (p.node() == 0)
+            for (int i = 0; i < 3; ++i)
+                a.read(p, 0);
+    });
+    const auto &s = h.runtime->proc(0).stats();
+    EXPECT_EQ(s.latency, 3u * 3200u);
+    EXPECT_EQ(s.finishTime, s.busy + s.latency + s.contention);
+}
+
+TEST_P(LogPMatrix, ContentionOrderedByPolicyStrictness)
+{
+    // For the same traffic: single >= per-direction and
+    // single >= bisection-only (relaxations can only reduce waits).
+    const auto [topo, policy] = GetParam();
+    (void)policy;
+    auto contention_for = [&](logp::GapPolicy pol) {
+        MachineHarness h(MachineKind::LogP, topo, 8, pol);
+        rt::SharedArray<std::uint64_t> hot(h.heap, 4,
+                                           rt::Placement::OnNode, 0);
+        h.run([&](rt::Proc &p) {
+            if (p.node() != 0)
+                for (int i = 0; i < 4; ++i)
+                    hot.fetchAdd(p, 0, 1);
+        });
+        sim::Duration total = 0;
+        for (std::uint32_t n = 0; n < 8; ++n)
+            total += h.runtime->proc(n).stats().contention;
+        return total;
+    };
+    const auto single = contention_for(logp::GapPolicy::Single);
+    EXPECT_GE(single, contention_for(logp::GapPolicy::PerDirection));
+    EXPECT_GE(single, contention_for(logp::GapPolicy::BisectionOnly));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, LogPMatrix,
+    ::testing::Combine(::testing::Values(TopologyKind::Full,
+                                         TopologyKind::Hypercube,
+                                         TopologyKind::Mesh2D),
+                       ::testing::Values(logp::GapPolicy::Single,
+                                         logp::GapPolicy::PerDirection,
+                                         logp::GapPolicy::BisectionOnly)),
+    [](const auto &info) {
+        const char *pol =
+            std::get<1>(info.param) == logp::GapPolicy::Single
+                ? "single"
+                : (std::get<1>(info.param) ==
+                           logp::GapPolicy::PerDirection
+                       ? "perdir"
+                       : "bisect");
+        return net::toString(std::get<0>(info.param)) + "_" + pol;
+    });
+
+// ---- Heap shapes ---------------------------------------------------------
+
+class HeapShapes : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(HeapShapes, BlockedCoversAllNodesEvenly)
+{
+    const std::uint32_t nodes = GetParam();
+    rt::SharedHeap heap(nodes);
+    const std::uint64_t bytes = 1024 * nodes;
+    const mem::Addr base = heap.allocate(bytes, rt::Placement::Blocked);
+    std::vector<std::uint64_t> per_node(nodes, 0);
+    for (std::uint64_t off = 0; off < bytes; off += 64)
+        ++per_node[heap.homeOf(base + off)];
+    for (std::uint32_t n = 0; n < nodes; ++n)
+        EXPECT_EQ(per_node[n], per_node[0]) << "node " << n;
+}
+
+TEST_P(HeapShapes, InterleavedBalancesBlocks)
+{
+    const std::uint32_t nodes = GetParam();
+    rt::SharedHeap heap(nodes);
+    const std::uint64_t blocks = 8 * nodes;
+    const mem::Addr base = heap.allocate(blocks * mem::kBlockBytes,
+                                         rt::Placement::Interleaved);
+    std::vector<std::uint64_t> per_node(nodes, 0);
+    for (std::uint64_t b = 0; b < blocks; ++b)
+        ++per_node[heap.homeOf(base + b * mem::kBlockBytes)];
+    for (std::uint32_t n = 0; n < nodes; ++n)
+        EXPECT_EQ(per_node[n], 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HeapShapes,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u,
+                                           64u));
+
+} // namespace

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for SPASM-style per-phase overhead isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "machine_fixture.hh"
+
+namespace {
+
+using namespace absim;
+using absim::test::MachineHarness;
+using mach::MachineKind;
+using net::TopologyKind;
+
+TEST(Phases, DefaultEverythingInMain)
+{
+    MachineHarness h(MachineKind::LogPC, TopologyKind::Full, 2);
+    h.run([&](rt::Proc &p) { p.compute(100); });
+    const auto &phases = h.runtime->proc(0).phases();
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_EQ(phases[0].name, "main");
+    EXPECT_EQ(phases[0].busy, sim::cycles(100));
+}
+
+TEST(Phases, PartitionTotalsExactly)
+{
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 2);
+    rt::SharedArray<std::uint64_t> a(h.heap, 16, rt::Placement::OnNode,
+                                     1);
+    h.run([&](rt::Proc &p) {
+        if (p.node() != 0)
+            return;
+        p.compute(10);
+        p.beginPhase("alpha");
+        a.read(p, 0);
+        p.compute(20);
+        p.beginPhase("beta");
+        a.write(p, 8, 1);
+        p.beginPhase("alpha"); // Re-entering accumulates.
+        p.compute(5);
+    });
+    const auto &proc = h.runtime->proc(0);
+    const auto &phases = proc.phases();
+    ASSERT_EQ(phases.size(), 3u);
+    EXPECT_EQ(phases[0].name, "main");
+    EXPECT_EQ(phases[1].name, "alpha");
+    EXPECT_EQ(phases[2].name, "beta");
+
+    sim::Duration busy = 0, latency = 0, contention = 0;
+    for (const auto &phase : phases) {
+        busy += phase.busy;
+        latency += phase.latency;
+        contention += phase.contention;
+    }
+    EXPECT_EQ(busy, proc.stats().busy);
+    EXPECT_EQ(latency, proc.stats().latency);
+    EXPECT_EQ(contention, proc.stats().contention);
+    EXPECT_EQ(phases[0].busy, sim::cycles(10));
+    // alpha: compute 20 + 5 plus the read's trailing cache-hit cost.
+    EXPECT_EQ(phases[1].busy, sim::cycles(25) + mach::kCacheHitNs);
+    EXPECT_EQ(phases[2].busy, mach::kCacheHitNs);
+    EXPECT_GT(phases[1].latency, 0u); // The read miss.
+    EXPECT_GT(phases[2].latency, 0u); // The write miss.
+}
+
+TEST(Phases, AppsReportTheirPhases)
+{
+    const struct
+    {
+        const char *app;
+        std::uint64_t n;
+        std::vector<std::string> expect;
+    } cases[] = {
+        {"ep", 2048, {"generate", "reduce"}},
+        {"fft", 256, {"bit-reverse", "butterflies"}},
+        {"is", 1024, {"histogram", "scan", "rank"}},
+        {"cg", 128, {"spmv", "dot", "axpy"}},
+        {"cholesky", 64, {"schedule", "factor"}},
+        {"radix", 512, {"histogram", "scan", "permute"}},
+    };
+    for (const auto &c : cases) {
+        core::RunConfig config;
+        config.app = c.app;
+        config.params.n = c.n;
+        config.params.iterations = 3;
+        config.machine = MachineKind::LogPC;
+        config.procs = 4;
+        const auto profile = core::runOne(config);
+        const auto summary = profile.phaseSummary();
+        for (const auto &want : c.expect) {
+            bool found = false;
+            for (const auto &phase : summary)
+                found = found || phase.name == want;
+            EXPECT_TRUE(found) << c.app << " missing phase " << want;
+        }
+    }
+}
+
+TEST(Phases, SerialFractionVisibleInScan)
+{
+    // IS's scan runs on processor 0 only: other processors' "scan"
+    // phase is nearly all barrier spinning (busy), processor 0 has the
+    // work; aggregate busy in scan must be positive and the phase's
+    // share must be small relative to rank.
+    core::RunConfig config;
+    config.app = "is";
+    config.params.n = 2048;
+    config.machine = MachineKind::Target;
+    config.procs = 4;
+    const auto profile = core::runOne(config);
+    const auto summary = profile.phaseSummary();
+    const stats::PhaseStats *scan = nullptr, *rank = nullptr;
+    for (const auto &phase : summary) {
+        if (phase.name == "scan")
+            scan = &phase;
+        if (phase.name == "rank")
+            rank = &phase;
+    }
+    ASSERT_NE(scan, nullptr);
+    ASSERT_NE(rank, nullptr);
+    EXPECT_GT(scan->total(), 0u);
+    EXPECT_GT(rank->latency, scan->latency);
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * A second round of Berkeley-protocol scenarios: SharedDirty writebacks,
+ * owner upgrades, home-node special cases, parallel invalidation timing,
+ * and the equivalent LogP+C corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine_fixture.hh"
+#include "mem/addr.hh"
+
+namespace {
+
+using namespace absim;
+using absim::test::MachineHarness;
+using mach::MachineKind;
+using mem::LineState;
+using net::TopologyKind;
+
+constexpr std::uint64_t kAfter = 1'000'000;
+
+TEST(Protocol, SharedDirtyOwnerUpgradesWithoutDataFetch)
+{
+    // Node 1 owns Dirty; node 0 reads (owner -> SharedDirty); node 1
+    // writes again: upgrade (it still owns), invalidating node 0 but
+    // fetching nothing.
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 4);
+    rt::SharedArray<std::uint64_t> a(h.heap, 4, rt::Placement::OnNode, 2);
+    const auto blk = mem::blockOf(a.addrOf(0));
+    h.run([&](rt::Proc &p) {
+        if (p.node() == 1) {
+            a.write(p, 0, 1);
+            p.compute(2 * kAfter);
+            a.write(p, 0, 2);
+        } else if (p.node() == 0) {
+            p.compute(kAfter);
+            EXPECT_EQ(a.read(p, 0), 1u);
+        }
+    });
+    EXPECT_EQ(h.target().cache(1).stateOf(blk), LineState::Dirty);
+    EXPECT_EQ(h.target().cache(0).stateOf(blk), LineState::Invalid);
+    EXPECT_EQ(h.machine->stats().upgrades, 1u);
+    EXPECT_EQ(a.raw(0), 2u);
+}
+
+TEST(Protocol, SharedDirtyEvictionWritesBack)
+{
+    // Node 0 owns SharedDirty (wrote, then node 1 read); conflicting
+    // traffic evicts it: the writeback must clear ownership, and the
+    // next reader gets memory-supplied data.
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 4);
+    const std::uint64_t stride = 64 * 1024 / 8;
+    rt::SharedArray<std::uint64_t> a(h.heap, 3 * stride,
+                                     rt::Placement::OnNode, 2);
+    const auto blk = mem::blockOf(a.addrOf(0));
+    h.run([&](rt::Proc &p) {
+        if (p.node() == 0) {
+            a.write(p, 0, 9); // Dirty at node 0.
+            p.compute(2 * kAfter);
+            a.read(p, stride);     // Fill the set ...
+            a.read(p, 2 * stride); // ... evicting the SharedDirty line.
+        } else if (p.node() == 1) {
+            p.compute(kAfter);
+            EXPECT_EQ(a.read(p, 0), 9u); // Degrades 0 to SharedDirty.
+        } else if (p.node() == 3) {
+            p.compute(4 * kAfter);
+            EXPECT_EQ(a.read(p, 0), 9u); // Memory supplies after WB.
+        }
+    });
+    EXPECT_EQ(h.machine->stats().writebacks, 1u);
+    const auto *entry = h.target().directory().peek(blk);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->owner, mem::DirectoryEntry::kNoOwner);
+    EXPECT_EQ(h.target().cache(0).stateOf(blk), LineState::Invalid);
+    EXPECT_EQ(h.target().cache(1).stateOf(blk), LineState::Valid);
+    EXPECT_EQ(h.target().cache(3).stateOf(blk), LineState::Valid);
+}
+
+TEST(Protocol, HomeNodeSharerInvalidatedForFree)
+{
+    // The home node itself shares the block; a remote write must not
+    // send a network invalidation to the co-located cache.
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 2);
+    rt::SharedArray<std::uint64_t> a(h.heap, 4, rt::Placement::OnNode, 0);
+    const auto blk = mem::blockOf(a.addrOf(0));
+    std::uint64_t msgs = 0;
+    h.run([&](rt::Proc &p) {
+        if (p.node() == 0) {
+            a.read(p, 0); // Home caches its own block: no messages.
+        } else {
+            p.compute(kAfter);
+            a.write(p, 0, 1);
+            msgs = h.machine->stats().messages;
+        }
+    });
+    // Write miss: req + data + grant = 3 messages; the invalidation of
+    // the home's cache is directory-local.
+    EXPECT_EQ(msgs, 3u);
+    EXPECT_EQ(h.machine->stats().invalidations, 1u);
+    EXPECT_EQ(h.target().cache(0).stateOf(blk), LineState::Invalid);
+}
+
+TEST(Protocol, ParallelInvalidationsChargeCriticalPathOnly)
+{
+    // With 3 remote sharers on a full network the invalidation round
+    // trips run in parallel: the writer's latency charge is one
+    // inv+ack round trip, not three.
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 8);
+    rt::SharedArray<std::uint64_t> a(h.heap, 4, rt::Placement::OnNode, 7);
+    h.run([&](rt::Proc &p) {
+        if (p.node() >= 1 && p.node() <= 3) {
+            a.read(p, 0);
+        } else if (p.node() == 0) {
+            p.compute(kAfter);
+            a.read(p, 0); // Join as 4th sharer.
+            a.write(p, 0, 1);
+        }
+    });
+    EXPECT_EQ(h.machine->stats().invalidations, 3u);
+    const auto &s = h.runtime->proc(0).stats();
+    // Read miss (0.4+1.6) + upgrade req (0.4) + inv/ack round trip
+    // (0.4+0.4) + grant (0.4): parallel invalidations add one round
+    // trip only.
+    EXPECT_EQ(s.latency, 400u + 1600u + 400u + 800u + 400u);
+}
+
+TEST(Protocol, ContendedHomeSerializesTransactions)
+{
+    // All nodes write-miss the same block: the blocking home serializes
+    // them; every processor's writes are preserved exactly once (the
+    // final value equals the last transaction's).
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 8);
+    rt::SharedArray<std::uint64_t> a(h.heap, 4, rt::Placement::OnNode, 0);
+    h.run([&](rt::Proc &p) { a.fetchAdd(p, 0, 1); });
+    EXPECT_EQ(a.raw(0), 8u);
+    // 7 remote transactions each steal ownership; contention must be
+    // nonzero (directory lock waits).
+    std::uint64_t total_contention = 0;
+    for (std::uint32_t n = 0; n < 8; ++n)
+        total_contention += h.runtime->proc(n).stats().contention;
+    EXPECT_GT(total_contention, 0u);
+}
+
+TEST(Protocol, LogPCOwnerEvictionTeleportsDataHome)
+{
+    // LogP+C: the dirty owner evicts silently; a later reader must get
+    // the data from *home* (one round trip), not the ex-owner.
+    MachineHarness h(MachineKind::LogPC, TopologyKind::Full, 4);
+    const std::uint64_t stride = 64 * 1024 / 8;
+    rt::SharedArray<std::uint64_t> a(h.heap, 3 * stride,
+                                     rt::Placement::OnNode, 2);
+    rt::SharedArray<std::uint64_t> local(h.heap, 4,
+                                         rt::Placement::OnNode, 1);
+    h.run([&](rt::Proc &p) {
+        if (p.node() == 0) {
+            a.write(p, 0, 4);      // Own dirty.
+            a.write(p, stride, 5); // Fill set ...
+            a.write(p, 2 * stride, 6); // ... evict block 0 silently.
+        } else if (p.node() == 1) {
+            p.compute(kAfter);
+            // A local access synchronizes this fiber with the engine so
+            // the native counter capture below is ordered after node
+            // 0's (much earlier) transactions.
+            local.read(p, 0);
+            const std::uint64_t before = h.machine->stats().messages;
+            EXPECT_EQ(a.read(p, 0), 4u);
+            EXPECT_EQ(h.machine->stats().messages, before + 2);
+        }
+    });
+}
+
+TEST(Protocol, ReadMissWhenOwnerIsHomeNode)
+{
+    // Owner and home coincide: the 3-hop chain degenerates (req remote,
+    // forward local, data remote).
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 2);
+    rt::SharedArray<std::uint64_t> a(h.heap, 4, rt::Placement::OnNode, 1);
+    h.run([&](rt::Proc &p) {
+        if (p.node() == 1) {
+            a.write(p, 0, 3); // Home owns its own block dirty.
+        } else {
+            p.compute(kAfter);
+            EXPECT_EQ(a.read(p, 0), 3u);
+        }
+    });
+    const auto &s = h.runtime->proc(0).stats();
+    // req (0.4) + forward (local, free) + data (1.6).
+    EXPECT_EQ(s.latency, 2000u);
+    EXPECT_EQ(h.target().cache(1).stateOf(mem::blockOf(a.addrOf(0))),
+              LineState::SharedDirty);
+}
+
+TEST(Protocol, WritebackRaceDegradesToNoop)
+{
+    // Node 0's dirty victim is stolen (invalidated) by node 1's write
+    // while node 0 waits for the victim's directory lock: the writeback
+    // must degrade to a no-op instead of corrupting the directory.
+    // This scenario is timing-dependent; we at least pin the invariant
+    // that concurrent conflict/steal traffic never double-registers
+    // owners.
+    MachineHarness h(MachineKind::Target, TopologyKind::Mesh2D, 4);
+    const std::uint64_t stride = 64 * 1024 / 8;
+    rt::SharedArray<std::uint64_t> a(h.heap, 4 * stride,
+                                     rt::Placement::Interleaved);
+    h.run([&](rt::Proc &p) {
+        for (int round = 0; round < 6; ++round) {
+            a.fetchAdd(p, 0, 1);
+            a.fetchAdd(p, (1 + (p.node() + round) % 3) * stride, 1);
+        }
+    });
+    EXPECT_EQ(a.raw(0), 24u);
+    // Directory invariant after the storm: at most one owner per block.
+    for (std::uint64_t b = 0; b < 4; ++b) {
+        const auto blk = mem::blockOf(a.addrOf(b * stride));
+        const auto *entry = h.target().directory().peek(blk);
+        if (entry == nullptr || entry->owner < 0)
+            continue;
+        EXPECT_TRUE(mem::isOwned(
+            h.target()
+                .cache(static_cast<net::NodeId>(entry->owner))
+                .stateOf(blk)));
+    }
+}
+
+} // namespace

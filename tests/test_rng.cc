@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the deterministic workload RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace {
+
+using absim::sim::Rng;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (const std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(11);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(8)] = true;
+    for (int v = 0; v < 8; ++v)
+        EXPECT_TRUE(seen[v]) << v;
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, RoughlyUniformBuckets)
+{
+    Rng rng(13);
+    int buckets[10] = {};
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++buckets[rng.below(10)];
+    for (const int count : buckets) {
+        EXPECT_GT(count, draws / 10 * 0.9);
+        EXPECT_LT(count, draws / 10 * 1.1);
+    }
+}
+
+} // namespace

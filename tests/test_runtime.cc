@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for the runtime layer: shared-heap placement, shared-array
+ * semantics (linearizable reads/writes/RMWs), processor clocks, and the
+ * shared-memory synchronization primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine_fixture.hh"
+#include "runtime/sync.hh"
+
+namespace {
+
+using namespace absim;
+using absim::test::MachineHarness;
+using mach::MachineKind;
+using net::TopologyKind;
+
+TEST(SharedHeap, BlockedPlacementSplitsEvenly)
+{
+    rt::SharedHeap heap(4);
+    const mem::Addr base = heap.allocate(4 * 256, rt::Placement::Blocked);
+    for (std::uint32_t n = 0; n < 4; ++n) {
+        EXPECT_EQ(heap.homeOf(base + n * 256), n);
+        EXPECT_EQ(heap.homeOf(base + n * 256 + 255), n);
+    }
+}
+
+TEST(SharedHeap, BlockedChunksAreBlockAligned)
+{
+    rt::SharedHeap heap(4);
+    // 100 bytes over 4 nodes: 25-byte chunks round up to one block each.
+    const mem::Addr base = heap.allocate(100, rt::Placement::Blocked);
+    EXPECT_EQ(heap.homeOf(base + 31), 0u);
+    EXPECT_EQ(heap.homeOf(base + 32), 1u);
+}
+
+TEST(SharedHeap, InterleavedPlacementRoundRobinsBlocks)
+{
+    rt::SharedHeap heap(4);
+    const mem::Addr base =
+        heap.allocate(8 * mem::kBlockBytes, rt::Placement::Interleaved);
+    for (std::uint32_t b = 0; b < 8; ++b)
+        EXPECT_EQ(heap.homeOf(base + b * mem::kBlockBytes), b % 4);
+}
+
+TEST(SharedHeap, OnNodePlacement)
+{
+    rt::SharedHeap heap(4);
+    const mem::Addr base =
+        heap.allocate(1024, rt::Placement::OnNode, 2);
+    EXPECT_EQ(heap.homeOf(base), 2u);
+    EXPECT_EQ(heap.homeOf(base + 1023), 2u);
+}
+
+TEST(SharedHeap, SegmentsDoNotOverlapAndStayBlockAligned)
+{
+    rt::SharedHeap heap(2);
+    const mem::Addr a = heap.allocate(33, rt::Placement::OnNode, 0);
+    const mem::Addr b = heap.allocate(1, rt::Placement::OnNode, 1);
+    EXPECT_EQ(a % mem::kBlockBytes, 0u);
+    EXPECT_EQ(b % mem::kBlockBytes, 0u);
+    EXPECT_GE(b, a + 33);
+    EXPECT_EQ(heap.homeOf(a), 0u);
+    EXPECT_EQ(heap.homeOf(b), 1u);
+}
+
+TEST(SharedHeap, RejectsBadArguments)
+{
+    rt::SharedHeap heap(2);
+    EXPECT_THROW(heap.allocate(0, rt::Placement::Blocked),
+                 std::invalid_argument);
+    EXPECT_THROW(heap.allocate(8, rt::Placement::OnNode, 5),
+                 std::invalid_argument);
+    EXPECT_THROW(heap.homeOf(0), std::out_of_range);
+}
+
+TEST(Proc, ComputeAdvancesLocalClockOnly)
+{
+    MachineHarness h(MachineKind::LogPC, TopologyKind::Full, 2);
+    h.run([&](rt::Proc &p) {
+        p.compute(100); // 100 cycles = 3000 ns.
+    });
+    EXPECT_EQ(h.runtime->proc(0).stats().busy, 3000u);
+    EXPECT_EQ(h.runtime->proc(0).stats().finishTime, 3000u);
+    EXPECT_EQ(h.runtime->proc(0).stats().accesses, 0u);
+}
+
+TEST(Proc, AccessesAreGloballyOrderedDespiteLocalClocks)
+{
+    // Proc 1 computes ahead, then writes; proc 0 spins reading.  The
+    // read at a local time after the write's completion must see it.
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 2);
+    rt::SharedArray<std::uint64_t> a(h.heap, 4, rt::Placement::OnNode, 0);
+    std::uint64_t seen_at_end = 0;
+    h.run([&](rt::Proc &p) {
+        if (p.node() == 1) {
+            p.compute(1000);
+            a.write(p, 0, 42);
+        } else {
+            while (a.read(p, 0) != 42)
+                p.compute(50);
+            seen_at_end = 42;
+        }
+    });
+    EXPECT_EQ(seen_at_end, 42u);
+}
+
+TEST(SharedArray, RmwIsAtomicAcrossProcessors)
+{
+    // N procs x K increments with fetchAdd: no update may be lost, on
+    // any machine model.
+    for (const auto kind : {MachineKind::Target, MachineKind::LogP,
+                            MachineKind::LogPC}) {
+        MachineHarness h(kind, TopologyKind::Mesh2D, 4);
+        rt::SharedArray<std::uint64_t> counter(h.heap, 1,
+                                               rt::Placement::OnNode, 0);
+        counter.raw(0) = 0;
+        h.run([&](rt::Proc &p) {
+            for (int i = 0; i < 25; ++i)
+                counter.fetchAdd(p, 0, 1);
+        });
+        EXPECT_EQ(counter.raw(0), 100u) << mach::toString(kind);
+    }
+}
+
+TEST(SpinLock, MutualExclusionUnderContention)
+{
+    // Unprotected read-modify-write sequences under a lock: lost updates
+    // would prove a mutual-exclusion violation.
+    for (const auto kind : {MachineKind::Target, MachineKind::LogP,
+                            MachineKind::LogPC}) {
+        MachineHarness h(kind, TopologyKind::Full, 4);
+        rt::SharedArray<std::uint64_t> value(h.heap, 1,
+                                             rt::Placement::OnNode, 1);
+        rt::SpinLock lock(h.heap, 0);
+        value.raw(0) = 0;
+        h.run([&](rt::Proc &p) {
+            for (int i = 0; i < 10; ++i) {
+                lock.lock(p);
+                const std::uint64_t v = value.read(p, 0);
+                p.compute(20); // Widen the race window.
+                value.write(p, 0, v + 1);
+                lock.unlock(p);
+            }
+        });
+        EXPECT_EQ(value.raw(0), 40u) << mach::toString(kind);
+    }
+}
+
+TEST(SpinLock, PlainTestAndSetAlsoCorrect)
+{
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 2);
+    rt::SharedArray<std::uint64_t> value(h.heap, 1,
+                                         rt::Placement::OnNode, 0);
+    rt::SpinLock lock(h.heap, 0, rt::LockKind::TestAndSet);
+    value.raw(0) = 0;
+    h.run([&](rt::Proc &p) {
+        for (int i = 0; i < 10; ++i) {
+            lock.lock(p);
+            const std::uint64_t v = value.read(p, 0);
+            value.write(p, 0, v + 1);
+            lock.unlock(p);
+        }
+    });
+    EXPECT_EQ(value.raw(0), 20u);
+}
+
+TEST(Barrier, NoProcessorPassesEarly)
+{
+    MachineHarness h(MachineKind::LogPC, TopologyKind::Full, 4);
+    rt::Barrier barrier(h.heap, 4);
+    rt::SharedArray<std::uint64_t> arrived(h.heap, 1,
+                                           rt::Placement::OnNode, 0);
+    arrived.raw(0) = 0;
+    bool violated = false;
+    h.run([&](rt::Proc &p) {
+        // Stagger arrivals widely.
+        p.compute(p.node() * 100000);
+        arrived.fetchAdd(p, 0, 1);
+        barrier.arrive(p);
+        if (arrived.read(p, 0) != 4)
+            violated = true;
+    });
+    EXPECT_FALSE(violated);
+}
+
+TEST(Barrier, ReusableAcrossPhases)
+{
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 4);
+    rt::Barrier barrier(h.heap, 4);
+    rt::SharedArray<std::uint64_t> phase_sum(h.heap, 8,
+                                             rt::Placement::OnNode, 0);
+    for (std::size_t i = 0; i < 8; ++i)
+        phase_sum.raw(i) = 0;
+    bool ok = true;
+    h.run([&](rt::Proc &p) {
+        for (std::uint64_t phase = 0; phase < 8; ++phase) {
+            phase_sum.fetchAdd(p, phase, 1);
+            barrier.arrive(p);
+            if (phase_sum.read(p, phase) != 4)
+                ok = false;
+            barrier.arrive(p);
+        }
+    });
+    EXPECT_TRUE(ok);
+}
+
+TEST(Flag, WaitForSeesPublishedValue)
+{
+    MachineHarness h(MachineKind::LogP, TopologyKind::Full, 2);
+    rt::Flag flag(h.heap, 0);
+    std::uint64_t order = 0;
+    h.run([&](rt::Proc &p) {
+        if (p.node() == 0) {
+            p.compute(50000);
+            order = 1;
+            flag.set(p, 7);
+        } else {
+            flag.waitFor(p, 7);
+            EXPECT_EQ(order, 1u);
+            order = 2;
+        }
+    });
+    EXPECT_EQ(order, 2u);
+}
+
+TEST(Runtime, ProfileCollectsAllProcs)
+{
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 4);
+    h.run([&](rt::Proc &p) { p.compute(10 + p.node()); });
+    const auto profile = h.runtime->collect();
+    ASSERT_EQ(profile.procs.size(), 4u);
+    EXPECT_EQ(profile.execTime(), sim::cycles(13));
+    EXPECT_GT(profile.engineEvents, 0u);
+}
+
+TEST(Runtime, ProcCountVisibleToWorkers)
+{
+    MachineHarness h(MachineKind::LogPC, TopologyKind::Full, 8);
+    std::uint32_t seen = 0;
+    h.run([&](rt::Proc &p) {
+        if (p.node() == 3)
+            seen = p.procs();
+    });
+    EXPECT_EQ(seen, 8u);
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for SharedArray: addressing, element size constraints, and
+ * the linearizable accessor semantics (native side effects applied at
+ * access completion).
+ */
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <functional>
+
+#include "machine_fixture.hh"
+
+namespace {
+
+using namespace absim;
+using absim::test::MachineHarness;
+using mach::MachineKind;
+using net::TopologyKind;
+
+TEST(SharedArray, AddressesAreContiguousAndBlockAligned)
+{
+    rt::SharedHeap heap(2);
+    rt::SharedArray<std::uint64_t> a(heap, 16, rt::Placement::OnNode, 0);
+    EXPECT_EQ(a.size(), 16u);
+    EXPECT_EQ(a.addrOf(0) % mem::kBlockBytes, 0u);
+    for (std::size_t i = 1; i < 16; ++i)
+        EXPECT_EQ(a.addrOf(i), a.addrOf(i - 1) + sizeof(std::uint64_t));
+}
+
+TEST(SharedArray, ElementsNeverStraddleBlocks)
+{
+    rt::SharedHeap heap(2);
+    rt::SharedArray<std::complex<float>> a(heap, 64,
+                                           rt::Placement::Blocked);
+    for (std::size_t i = 0; i < 64; ++i) {
+        const mem::Addr addr = a.addrOf(i);
+        EXPECT_EQ(mem::blockOf(addr),
+                  mem::blockOf(addr + sizeof(std::complex<float>) - 1));
+    }
+}
+
+TEST(SharedArray, RawInitializationIsVisibleToSimulatedReads)
+{
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 2);
+    rt::SharedArray<std::uint64_t> a(h.heap, 8, rt::Placement::OnNode, 1);
+    for (std::size_t i = 0; i < 8; ++i)
+        a.raw(i) = i * 11;
+    h.run([&](rt::Proc &p) {
+        if (p.node() != 0)
+            return;
+        for (std::size_t i = 0; i < 8; ++i)
+            EXPECT_EQ(a.read(p, i), i * 11);
+    });
+}
+
+TEST(SharedArray, WriteThenReadRoundTrips)
+{
+    for (const auto kind : {MachineKind::Target, MachineKind::LogP,
+                            MachineKind::LogPC}) {
+        MachineHarness h(kind, TopologyKind::Full, 2);
+        rt::SharedArray<double> a(h.heap, 4, rt::Placement::OnNode, 1);
+        h.run([&](rt::Proc &p) {
+            if (p.node() != 0)
+                return;
+            a.write(p, 2, 3.5);
+            EXPECT_EQ(a.read(p, 2), 3.5);
+        });
+        EXPECT_EQ(a.raw(2), 3.5);
+    }
+}
+
+TEST(SharedArray, TestAndSetReturnsOldValue)
+{
+    MachineHarness h(MachineKind::LogPC, TopologyKind::Full, 2);
+    rt::SharedArray<std::uint64_t> a(h.heap, 1, rt::Placement::OnNode, 0);
+    a.raw(0) = 0;
+    h.run([&](rt::Proc &p) {
+        if (p.node() != 0)
+            return;
+        EXPECT_EQ(a.testAndSet(p, 0), 0u);
+        EXPECT_EQ(a.testAndSet(p, 0), 1u);
+        EXPECT_EQ(a.read(p, 0), 1u);
+    });
+}
+
+TEST(SharedArray, FetchAddReturnsOldAndAccumulates)
+{
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 2);
+    rt::SharedArray<std::uint64_t> a(h.heap, 1, rt::Placement::OnNode, 1);
+    a.raw(0) = 100;
+    h.run([&](rt::Proc &p) {
+        if (p.node() != 0)
+            return;
+        EXPECT_EQ(a.fetchAdd(p, 0, 5), 100u);
+        EXPECT_EQ(a.fetchAdd(p, 0, 5), 105u);
+    });
+    EXPECT_EQ(a.raw(0), 110u);
+}
+
+TEST(SharedArray, SignedElementAndNarrowTypes)
+{
+    MachineHarness h(MachineKind::Target, TopologyKind::Full, 2);
+    rt::SharedArray<std::int32_t> a(h.heap, 8, rt::Placement::OnNode, 0);
+    h.run([&](rt::Proc &p) {
+        if (p.node() != 0)
+            return;
+        a.write(p, 3, -7);
+        EXPECT_EQ(a.read(p, 3), -7);
+        EXPECT_EQ(a.fetchAdd(p, 3, -1), -7);
+        EXPECT_EQ(a.read(p, 3), -8);
+    });
+}
+
+TEST(EventCap, ThrowsOnRunaway)
+{
+    sim::EventQueue eq;
+    eq.setEventCap(10);
+    std::function<void()> reschedule = [&] {
+        eq.scheduleAfter(1, reschedule); // Self-perpetuating event chain.
+    };
+    eq.schedule(0, reschedule);
+    EXPECT_THROW(eq.run(), std::runtime_error);
+    EXPECT_EQ(eq.dispatched(), 10u);
+}
+
+TEST(EventCap, DisabledByDefault)
+{
+    sim::EventQueue eq;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(static_cast<sim::Tick>(i), [] {});
+    EXPECT_NO_THROW(eq.run());
+}
+
+} // namespace

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: event queue ordering, fibers,
+ * processes, and simulated-time resources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+#include "sim/process.hh"
+#include "sim/resource.hh"
+
+namespace {
+
+using namespace absim::sim;
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.nextEventTime(), kTickMax);
+}
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoBySchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(2, [&] {
+            ++fired;
+            eq.schedule(3, [&] { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 3u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    EXPECT_FALSE(eq.runUntil(15));
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.runUntil(100));
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CountsDispatchedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(static_cast<Tick>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.dispatched(), 7u);
+}
+
+TEST(Fiber, RunsToCompletion)
+{
+    bool ran = false;
+    Fiber f([&] { ran = true; });
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, YieldSuspendsAndResumes)
+{
+    int step = 0;
+    Fiber f([&] {
+        step = 1;
+        Fiber::yield();
+        step = 2;
+        Fiber::yield();
+        step = 3;
+    });
+    f.resume();
+    EXPECT_EQ(step, 1);
+    f.resume();
+    EXPECT_EQ(step, 2);
+    f.resume();
+    EXPECT_EQ(step, 3);
+    EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, CurrentTracksExecution)
+{
+    EXPECT_EQ(Fiber::current(), nullptr);
+    Fiber *seen = nullptr;
+    Fiber f([&] { seen = Fiber::current(); });
+    f.resume();
+    EXPECT_EQ(seen, &f);
+    EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Process, DelayAdvancesSimulatedTime)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    Process p(eq, "t", [&] {
+        Process::current()->delay(100);
+        seen = eq.now();
+        Process::current()->delay(50);
+        seen = eq.now();
+    });
+    p.start(0);
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+    EXPECT_TRUE(p.finished());
+}
+
+TEST(Process, SuspendWake)
+{
+    EventQueue eq;
+    Tick woke_at = 0;
+    Process sleeper(eq, "sleeper", [&] {
+        Process::current()->suspend();
+        woke_at = eq.now();
+    });
+    Process waker(eq, "waker", [&] {
+        Process::current()->delay(42);
+        sleeper.wake();
+    });
+    sleeper.start(0);
+    waker.start(0);
+    eq.run();
+    EXPECT_EQ(woke_at, 42u);
+}
+
+TEST(Process, SpawnDetachedSelfCleans)
+{
+    EventQueue eq;
+    int ran = 0;
+    spawnDetached(eq, "helper", [&] {
+        Process::current()->delay(5);
+        ++ran;
+    }, 0);
+    eq.run();
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(FifoMutex, UncontendedAcquireIsFree)
+{
+    EventQueue eq;
+    FifoMutex m;
+    Duration waited = 99;
+    Process p(eq, "p", [&] {
+        waited = m.acquire();
+        m.release();
+    });
+    p.start(0);
+    eq.run();
+    EXPECT_EQ(waited, 0u);
+    EXPECT_FALSE(m.locked());
+}
+
+TEST(FifoMutex, GrantsInFifoOrderWithWaitTimes)
+{
+    EventQueue eq;
+    FifoMutex m;
+    std::vector<int> grant_order;
+    std::vector<Duration> waits(3);
+
+    // p0 takes the lock at t=0 and holds it until t=100.
+    Process p0(eq, "p0", [&] {
+        m.acquire();
+        grant_order.push_back(0);
+        Process::current()->delay(100);
+        m.release();
+    });
+    // p1 requests at t=10, p2 at t=20; they must be served in that order.
+    Process p1(eq, "p1", [&] {
+        Process::current()->delay(10);
+        waits[1] = m.acquire();
+        grant_order.push_back(1);
+        Process::current()->delay(100);
+        m.release();
+    });
+    Process p2(eq, "p2", [&] {
+        Process::current()->delay(20);
+        waits[2] = m.acquire();
+        grant_order.push_back(2);
+        m.release();
+    });
+    p0.start(0);
+    p1.start(0);
+    p2.start(0);
+    eq.run();
+
+    EXPECT_EQ(grant_order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(waits[1], 90u);  // Requested at 10, granted at 100.
+    EXPECT_EQ(waits[2], 180u); // Requested at 20, granted at 200.
+    EXPECT_EQ(m.totalWait(), 270u);
+}
+
+TEST(Condition, NotifyAllWakesEveryWaiter)
+{
+    EventQueue eq;
+    Condition cond;
+    int woken = 0;
+    for (int i = 0; i < 3; ++i) {
+        spawnDetached(eq, "waiter", [&] {
+            cond.wait();
+            ++woken;
+        }, 0);
+    }
+    Process notifier(eq, "notifier", [&] {
+        Process::current()->delay(10);
+        cond.notifyAll();
+    });
+    notifier.start(0);
+    eq.run();
+    EXPECT_EQ(woken, 3);
+}
+
+TEST(Latch, AwaitBlocksUntilZero)
+{
+    EventQueue eq;
+    Latch latch(3);
+    Tick released_at = 0;
+    Process waiter(eq, "waiter", [&] {
+        latch.await();
+        released_at = eq.now();
+    });
+    for (int i = 1; i <= 3; ++i) {
+        spawnDetached(eq, "helper", [&latch, i] {
+            Process::current()->delay(static_cast<Duration>(i * 10));
+            latch.countDown();
+        }, 0);
+    }
+    waiter.start(0);
+    eq.run();
+    EXPECT_EQ(released_at, 30u);
+}
+
+TEST(Latch, AwaitWithZeroCountReturnsImmediately)
+{
+    EventQueue eq;
+    Latch latch(1);
+    bool done = false;
+    Process p(eq, "p", [&] {
+        latch.countDown();
+        latch.await();
+        done = true;
+    });
+    p.start(0);
+    eq.run();
+    EXPECT_TRUE(done);
+}
+
+} // namespace

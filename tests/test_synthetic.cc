@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the synthetic access-pattern workloads, including the
+ * analytic cross-checks the patterns make possible (closed-form LogP
+ * expectations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace {
+
+using namespace absim;
+
+core::RunConfig
+configFor(const std::string &variant, mach::MachineKind machine,
+          std::uint32_t procs, std::uint64_t ops = 128)
+{
+    core::RunConfig config;
+    config.app = "synthetic";
+    config.params.variant = variant;
+    config.params.n = ops;
+    config.machine = machine;
+    config.topology = net::TopologyKind::Hypercube;
+    config.procs = procs;
+    return config;
+}
+
+TEST(Synthetic, AllVariantsCountAllUpdatesOnAllMachines)
+{
+    for (const char *variant :
+         {"private", "neighbor", "uniform", "hotspot"}) {
+        for (const auto machine :
+             {mach::MachineKind::Target, mach::MachineKind::LogP,
+              mach::MachineKind::LogPC}) {
+            EXPECT_NO_THROW(
+                core::runOne(configFor(variant, machine, 4)))
+                << variant << " on " << mach::toString(machine);
+        }
+    }
+}
+
+TEST(Synthetic, UnknownVariantThrows)
+{
+    EXPECT_THROW(core::runOne(configFor("zigzag",
+                                        mach::MachineKind::LogPC, 2)),
+                 std::invalid_argument);
+}
+
+TEST(Synthetic, PrivatePatternNeverCommunicates)
+{
+    for (const auto machine :
+         {mach::MachineKind::Target, mach::MachineKind::LogP,
+          mach::MachineKind::LogPC}) {
+        const auto profile =
+            core::runOne(configFor("private", machine, 4));
+        EXPECT_EQ(profile.machine.messages, 0u)
+            << mach::toString(machine);
+    }
+}
+
+TEST(Synthetic, LogPNeighborCostIsAnalytic)
+{
+    // Analytic check of the LogP machine stack on the "neighbor"
+    // pattern (every op one remote RMW round trip):
+    //  - latency is exactly 2L per op,
+    //  - busy is exactly the inter-op compute,
+    //  - each node's single gate carries four events per op (its own
+    //    request send + reply receive, plus its predecessor's request
+    //    receive + the reply send), so the steady-state op period — and
+    //    hence per-op contention — is bounded below by 4g minus the
+    //    engine-time parts accounted elsewhere.
+    constexpr std::uint64_t kOps = 64;
+    const auto profile = core::runOne(
+        configFor("neighbor", mach::MachineKind::LogP, 4, kOps));
+    const sim::Duration g = 1600; // Cube.
+    for (const auto &s : profile.procs) {
+        EXPECT_EQ(s.latency, kOps * 3200u);
+        EXPECT_EQ(s.busy, kOps * sim::cycles(20));
+        EXPECT_GE(s.contention, kOps * g); // Reply-send gate alone.
+        EXPECT_EQ(s.finishTime, s.busy + s.latency + s.contention);
+    }
+    EXPECT_GE(profile.execTime(), kOps * 4 * g);
+}
+
+TEST(Synthetic, LogPHotspotThroughputIsGateBound)
+{
+    // All P-1 remote processors hammer node 0: the aggregate service
+    // rate at node 0's gate is one event per g, two events per round
+    // trip, so the makespan is at least 2 * ops * (P-1) * g.
+    constexpr std::uint64_t kOps = 32;
+    constexpr std::uint32_t kProcs = 8;
+    const auto profile = core::runOne(
+        configFor("hotspot", mach::MachineKind::LogP, kProcs, kOps));
+    const sim::Duration g = 1600; // Cube.
+    EXPECT_GE(profile.execTime(), 2 * kOps * (kProcs - 1) * g);
+}
+
+TEST(Synthetic, NeighborPessimismExceedsUniform)
+{
+    // The bisection g charges neighbor traffic it should not: the
+    // LogP+C-vs-target contention ratio must be worse for "neighbor"
+    // than for "uniform" (mesh, where locality matters most).
+    auto ratio = [](const char *variant) {
+        auto base = configFor(variant, mach::MachineKind::Target, 16,
+                              256);
+        base.topology = net::TopologyKind::Mesh2D;
+        const double target =
+            core::runOne(base).meanContention() + 1.0;
+        base.machine = mach::MachineKind::LogPC;
+        const double logpc = core::runOne(base).meanContention();
+        return logpc / target;
+    };
+    EXPECT_GT(ratio("neighbor"), ratio("uniform"));
+}
+
+} // namespace
