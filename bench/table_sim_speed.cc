@@ -14,6 +14,7 @@
 #include <map>
 #include <string>
 
+#include "check/check.hh"
 #include "core/experiment.hh"
 
 namespace {
@@ -85,6 +86,12 @@ registerAll()
 int
 main(int argc, char **argv)
 {
+    // Measure the simulator, not the debug validators: the per-transaction
+    // coherence sweeps and conservation checks are not part of the
+    // machinery the paper times.
+    absim::check::options().coherence = false;
+    absim::check::options().conservation = false;
+
     registerAll();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,7 +1,6 @@
 #include "apps/cg.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <map>
 #include <sstream>

@@ -1,11 +1,11 @@
 #include "apps/cholesky.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
+#include "check/check.hh"
 #include "sim/rng.hh"
 
 namespace absim::apps {
@@ -192,7 +192,9 @@ CholeskyApp::worker(rt::Proc &p)
             for (std::uint64_t t = s; t < count; ++t) {
                 const std::uint32_t i = sym_.rowIdx[base + t];
                 const std::int32_t pos = sym_.rowPos[k][i];
-                assert(pos >= 0 && "fill closure violated");
+                ABSIM_CHECK(pos >= 0,
+                            "fill closure violated: L(" << i << "," << k
+                                                        << ") missing");
                 const std::uint64_t slot =
                     sym_.colPtr[k] + static_cast<std::uint64_t>(pos);
                 const double cur = val_.read(p, slot);

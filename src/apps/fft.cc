@@ -1,6 +1,5 @@
 #include "apps/fft.hh"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
 #include <sstream>

@@ -1,0 +1,65 @@
+#include "check/check.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace absim::check {
+
+namespace {
+
+void
+defaultHandler(const char *file, int line, const char *expr,
+               const std::string &message)
+{
+    std::fprintf(stderr, "%s:%d: ABSIM_CHECK failed: %s\n  %s\n", file,
+                 line, expr, message.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+FailureHandler g_handler = nullptr; // nullptr = defaultHandler.
+
+void
+throwingHandler(const char *file, int line, const char *expr,
+                const std::string &message)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": ABSIM_CHECK failed: " << expr << " — "
+        << message;
+    throw CheckFailure(oss.str(), file, line);
+}
+
+} // namespace
+
+FailureHandler
+setFailureHandler(FailureHandler handler)
+{
+    FailureHandler prev = g_handler;
+    g_handler = handler;
+    return prev;
+}
+
+void
+fail(const char *file, int line, const char *expr,
+     const std::string &message)
+{
+    ++counters().failed;
+    if (g_handler != nullptr)
+        g_handler(file, line, expr, message);
+    // Either no handler was installed or the handler returned; a failed
+    // invariant must never continue.
+    defaultHandler(file, line, expr, message);
+    std::abort(); // Unreachable; keeps [[noreturn]] honest.
+}
+
+ScopedThrowOnFailure::ScopedThrowOnFailure()
+    : prev_(setFailureHandler(&throwingHandler))
+{
+}
+
+ScopedThrowOnFailure::~ScopedThrowOnFailure()
+{
+    setFailureHandler(prev_);
+}
+
+} // namespace absim::check

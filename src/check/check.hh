@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Always-on invariant checking for the simulator: the ABSIM_CHECK /
+ * ABSIM_DCHECK macro family and the global checker configuration.
+ *
+ * The paper's methodology stands or falls with exact accounting: every
+ * cycle of latency, contention and wait must be attributed somewhere, and
+ * the coherence state the machines track must stay consistent.  Bare
+ * assert() gives none of the context needed to debug a violation (and
+ * vanishes under NDEBUG); these macros report file, line, the failed
+ * expression and a formatted message, stay live in optimized builds, and
+ * count how many checks were evaluated so tests can prove the validators
+ * actually ran.
+ *
+ * Usage:
+ *
+ *     ABSIM_CHECK(when >= now_, "event scheduled " << now_ - when
+ *                                   << " ticks in the past");
+ *     ABSIM_DCHECK(line != nullptr, "touch of an absent line");
+ *
+ * ABSIM_CHECK is always compiled in.  ABSIM_DCHECK marks hot-path checks:
+ * it is identical unless the build defines NDEBUG (which this project's
+ * CMake never does for its own targets; embedders may).
+ *
+ * On failure the installed FailureHandler runs; the default prints the
+ * diagnostic to stderr and aborts.  Tests install a throwing handler via
+ * ScopedThrowOnFailure so that negative tests can observe the failure as
+ * a CheckFailure exception instead of a process death.
+ *
+ * The heavier validators (coherence sweeps, overhead conservation,
+ * event-kernel causality) are individually pluggable through Options so
+ * that forensic runs can isolate one class of invariant at a time.
+ */
+
+#ifndef ABSIM_CHECK_CHECK_HH
+#define ABSIM_CHECK_CHECK_HH
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace absim::check {
+
+/** Global tallies of checker activity (the simulator is single-threaded
+ *  per process; plain counters suffice). */
+struct Counters
+{
+    /** Checks evaluated (passed or failed), including active DCHECKs. */
+    std::uint64_t evaluated = 0;
+
+    /** Checks that failed (only observable with a non-fatal handler). */
+    std::uint64_t failed = 0;
+};
+
+inline Counters &
+counters()
+{
+    static Counters instance;
+    return instance;
+}
+
+/** Enable bits for the pluggable debug-mode validators.  All default to
+ *  on; benchmarks that measure raw simulator speed may switch them off. */
+struct Options
+{
+    /** SWMR + directory/cache agreement after every protocol transition. */
+    bool coherence = true;
+
+    /** Event-kernel causality: monotonic clock, no events in the past. */
+    bool causality = true;
+
+    /** latency + contention + wait must equal elapsed engine time on
+     *  every accounted operation. */
+    bool conservation = true;
+};
+
+inline Options &
+options()
+{
+    static Options instance;
+    return instance;
+}
+
+/** Thrown by the test failure handler (see ScopedThrowOnFailure). */
+class CheckFailure : public std::runtime_error
+{
+  public:
+    CheckFailure(const std::string &what, const char *file, int line)
+        : std::runtime_error(what), file_(file), line_(line)
+    {
+    }
+
+    const char *file() const { return file_; }
+    int line() const { return line_; }
+
+  private:
+    const char *file_;
+    int line_;
+};
+
+/**
+ * Invoked when a check fails.  May throw (tests) or log; if it returns,
+ * the process aborts — a failed invariant never continues silently.
+ */
+using FailureHandler = void (*)(const char *file, int line,
+                                const char *expr,
+                                const std::string &message);
+
+/**
+ * Install a failure handler.
+ * @param handler  New handler, or nullptr to restore the default
+ *                 (print to stderr and abort).
+ * @return The previously installed handler (nullptr if it was the
+ *         default).
+ */
+FailureHandler setFailureHandler(FailureHandler handler);
+
+/** Report a failed check.  Counts it, then runs the handler; aborts if
+ *  the handler declines to throw. */
+[[noreturn]] void fail(const char *file, int line, const char *expr,
+                       const std::string &message);
+
+/**
+ * RAII guard that makes check failures throw CheckFailure for its
+ * lifetime.  For tests only: a throw from a check inside a raw fiber
+ * (outside the Runtime's worker wrapper) cannot unwind across the fiber
+ * boundary and would terminate the process.
+ */
+class ScopedThrowOnFailure
+{
+  public:
+    ScopedThrowOnFailure();
+    ~ScopedThrowOnFailure();
+
+    ScopedThrowOnFailure(const ScopedThrowOnFailure &) = delete;
+    ScopedThrowOnFailure &operator=(const ScopedThrowOnFailure &) = delete;
+
+  private:
+    FailureHandler prev_;
+};
+
+} // namespace absim::check
+
+/**
+ * Verify @p cond, which must hold in every build.  @p msg is an ostream
+ * expression chain evaluated only on failure.
+ */
+#define ABSIM_CHECK(cond, msg)                                              \
+    do {                                                                    \
+        ++::absim::check::counters().evaluated;                             \
+        if (!(cond)) [[unlikely]] {                                         \
+            std::ostringstream absim_check_oss_;                            \
+            absim_check_oss_ << msg;                                        \
+            ::absim::check::fail(__FILE__, __LINE__, #cond,                 \
+                                 absim_check_oss_.str());                   \
+        }                                                                   \
+    } while (0)
+
+/** ABSIM_CHECK for hot paths: compiled out under NDEBUG. */
+#if defined(NDEBUG) && !defined(ABSIM_FORCE_DCHECKS)
+#define ABSIM_DCHECK(cond, msg)                                             \
+    do {                                                                    \
+        (void)sizeof(!(cond));                                              \
+    } while (0)
+#else
+#define ABSIM_DCHECK(cond, msg) ABSIM_CHECK(cond, msg)
+#endif
+
+/** Equality check that prints both operands on failure.  The operands
+ *  are re-evaluated for the message, so they must be side-effect free. */
+#define ABSIM_CHECK_EQ(a, b, msg)                                           \
+    ABSIM_CHECK((a) == (b), #a " == " #b " (" << (a) << " vs " << (b)       \
+                                              << "): " << msg)
+
+#define ABSIM_DCHECK_EQ(a, b, msg)                                          \
+    ABSIM_DCHECK((a) == (b), #a " == " #b " (" << (a) << " vs " << (b)      \
+                                               << "): " << msg)
+
+/** Ordering check (a <= b) that prints both operands on failure. */
+#define ABSIM_CHECK_LE(a, b, msg)                                           \
+    ABSIM_CHECK((a) <= (b), #a " <= " #b " (" << (a) << " vs " << (b)       \
+                                              << "): " << msg)
+
+#endif // ABSIM_CHECK_CHECK_HH

@@ -1,0 +1,98 @@
+#include "check/coherence.hh"
+
+#include <unordered_set>
+#include <utility>
+
+#include "check/check.hh"
+
+namespace absim::check {
+
+CoherenceChecker::CoherenceChecker(
+    std::string name, bool exact_sharers,
+    const std::vector<std::unique_ptr<mem::SetAssocCache>> &caches,
+    Lookup lookup, Enumerate enumerate)
+    : name_(std::move(name)), exactSharers_(exact_sharers),
+      caches_(caches), lookup_(std::move(lookup)),
+      enumerate_(std::move(enumerate))
+{
+}
+
+void
+CoherenceChecker::checkBlock(mem::BlockId blk) const
+{
+    if (!options().coherence)
+        return;
+    ++blocksChecked_;
+
+    const DirInfo dir = lookup_(blk);
+    std::uint32_t copies = 0;
+    std::uint32_t owned_copies = 0;
+    std::int32_t owned_node = -1;
+    bool dirty = false;
+
+    for (net::NodeId n = 0;
+         n < static_cast<net::NodeId>(caches_.size()); ++n) {
+        const mem::LineState state = caches_[n]->stateOf(blk);
+        if (state == mem::LineState::Invalid) {
+            if (exactSharers_ && dir.tracked)
+                ABSIM_CHECK(!dir.isSharer(n),
+                            name_ << ": stale sharer bit, node " << n
+                                  << " listed for block " << blk
+                                  << " but holds no copy");
+            continue;
+        }
+        ++copies;
+        ABSIM_CHECK(dir.tracked, name_ << ": node " << n
+                                       << " holds block " << blk
+                                       << " unknown to the directory");
+        ABSIM_CHECK(dir.isSharer(n),
+                    name_ << ": node " << n << " holds block " << blk
+                          << " without a sharer bit (sharers=0x"
+                          << std::hex << dir.sharers << std::dec << ")");
+        if (mem::isOwned(state)) {
+            ++owned_copies;
+            owned_node = static_cast<std::int32_t>(n);
+        }
+        if (state == mem::LineState::Dirty)
+            dirty = true;
+    }
+
+    ABSIM_CHECK(owned_copies <= 1,
+                name_ << ": SWMR violated, " << owned_copies
+                      << " ownership-state copies of block " << blk);
+    if (dirty)
+        ABSIM_CHECK(copies == 1,
+                    name_ << ": Dirty copy of block " << blk
+                          << " coexists with " << copies - 1
+                          << " other copies");
+    if (owned_copies == 1)
+        ABSIM_CHECK(dir.owner == owned_node,
+                    name_ << ": node " << owned_node
+                          << " owns block " << blk
+                          << " but the directory names owner "
+                          << dir.owner);
+    if (dir.tracked && dir.owner >= 0)
+        ABSIM_CHECK(owned_copies == 1 && owned_node == dir.owner,
+                    name_ << ": directory owner " << dir.owner
+                          << " holds no ownership-state copy of block "
+                          << blk);
+}
+
+void
+CoherenceChecker::checkAll() const
+{
+    if (!options().coherence)
+        return;
+    std::unordered_set<mem::BlockId> blocks;
+    for (const auto &cache : caches_)
+        for (const auto &[blk, state] : cache->residentLines()) {
+            (void)state;
+            blocks.insert(blk);
+        }
+    if (enumerate_)
+        enumerate_([&blocks](mem::BlockId blk) { blocks.insert(blk); });
+    for (const mem::BlockId blk : blocks)
+        checkBlock(blk);
+}
+
+} // namespace absim::check

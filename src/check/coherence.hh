@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Directory/cache coherence invariant checker.
+ *
+ * Both cached machine characterizations (the detailed target machine and
+ * the LogP+C ideal coherent cache) perform Berkeley-protocol state
+ * transitions; the paper's comparison is meaningful only if those
+ * transitions are exact.  This checker verifies, block by block, the
+ * invariants any ownership-based invalidation protocol must maintain at
+ * transaction boundaries:
+ *
+ *  - SWMR: at most one cache holds the block in an ownership state
+ *    (Dirty / SharedDirty), and a Dirty copy is the *only* copy.
+ *  - Directory agreement: every resident copy is a registered sharer,
+ *    the directory's owner field names exactly the cache holding the
+ *    owned copy, and (for machines whose sharer bits are exact, like the
+ *    LogP+C oracle) every sharer bit corresponds to a resident copy.
+ *
+ * The machines invoke checkBlock() after every protocol transition and
+ * checkAll() at drain; both are no-ops when check::options().coherence
+ * is off.  The checker reads machine state through two callbacks so it
+ * depends only on src/mem, not on any machine model.
+ */
+
+#ifndef ABSIM_CHECK_COHERENCE_HH
+#define ABSIM_CHECK_COHERENCE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "mem/cache.hh"
+
+namespace absim::check {
+
+/** A directory's view of one block, as reported by the machine. */
+struct DirInfo
+{
+    /** Bit i set = the directory believes node i holds a copy. */
+    std::uint64_t sharers = 0;
+
+    /** Owning node, or -1 for none. */
+    std::int32_t owner = -1;
+
+    /** False if the directory has never seen the block. */
+    bool tracked = false;
+
+    bool
+    isSharer(net::NodeId n) const
+    {
+        return (sharers >> n) & 1u;
+    }
+};
+
+class CoherenceChecker
+{
+  public:
+    /** Report the directory state of one block. */
+    using Lookup = std::function<DirInfo(mem::BlockId)>;
+
+    /** Visit every block the directory tracks. */
+    using Enumerate =
+        std::function<void(const std::function<void(mem::BlockId)> &)>;
+
+    /**
+     * @param name           Machine name used in failure messages.
+     * @param exact_sharers  True if the machine's sharer bits are exact
+     *                       (no stale bits from silent clean
+     *                       replacements, e.g. the LogP+C oracle).
+     * @param caches         The machine's per-node caches (must outlive
+     *                       the checker; never resized).
+     * @param lookup         Directory state accessor.
+     * @param enumerate      Directory iteration, used by checkAll().
+     */
+    CoherenceChecker(
+        std::string name, bool exact_sharers,
+        const std::vector<std::unique_ptr<mem::SetAssocCache>> &caches,
+        Lookup lookup, Enumerate enumerate);
+
+    /**
+     * Verify the invariants for @p blk across all caches.  Call at a
+     * transaction boundary: the block must not be mid-transition.
+     */
+    void checkBlock(mem::BlockId blk) const;
+
+    /** Full sweep: every resident line and every tracked block. */
+    void checkAll() const;
+
+    /** Blocks verified so far (proves the validator ran). */
+    std::uint64_t blocksChecked() const { return blocksChecked_; }
+
+  private:
+    std::string name_;
+    bool exactSharers_;
+    const std::vector<std::unique_ptr<mem::SetAssocCache>> &caches_;
+    Lookup lookup_;
+    Enumerate enumerate_;
+    mutable std::uint64_t blocksChecked_ = 0;
+};
+
+} // namespace absim::check
+
+#endif // ABSIM_CHECK_COHERENCE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Sanitizer detection and fiber-switch annotations.
+ *
+ * AddressSanitizer tracks a shadow of the current stack; switching to a
+ * ucontext fiber stack without telling it produces false positives
+ * (stack-buffer-overflow / stack-use-after-return on the foreign stack).
+ * The __sanitizer_start_switch_fiber / __sanitizer_finish_switch_fiber
+ * pair, called around every swapcontext, keeps the shadow consistent:
+ * *start* is called on the outgoing stack naming the incoming one, and
+ * *finish* is called as the first action on the incoming stack, returning
+ * the bounds of the stack just left.
+ *
+ * The wrappers below compile to no-ops when ASan is off, so src/sim/fiber
+ * carries no #ifdefs at its switch points.
+ */
+
+#ifndef ABSIM_CHECK_SANITIZER_HH
+#define ABSIM_CHECK_SANITIZER_HH
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define ABSIM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ABSIM_ASAN 1
+#endif
+#endif
+
+#ifndef ABSIM_ASAN
+#define ABSIM_ASAN 0
+#endif
+
+#if ABSIM_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace absim::check {
+
+/**
+ * Announce an imminent switch from the current stack to another one.
+ *
+ * @param fake_stack_save  Receives ASan's fake-stack handle for the
+ *                         current stack; pass nullptr when the current
+ *                         stack is being abandoned for good (a finishing
+ *                         fiber), so ASan releases its bookkeeping.
+ * @param bottom           Lowest address of the destination stack.
+ * @param size             Size of the destination stack in bytes.
+ */
+inline void
+annotateSwitchStart(void **fake_stack_save, const void *bottom,
+                    std::size_t size)
+{
+#if ABSIM_ASAN
+    __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+    (void)fake_stack_save;
+    (void)bottom;
+    (void)size;
+#endif
+}
+
+/**
+ * Complete a stack switch; must be the first action on the destination
+ * stack after swapcontext.
+ *
+ * @param fake_stack_save  The handle saved by this stack's previous
+ *                         annotateSwitchStart (nullptr on first entry).
+ * @param bottom_old       Receives the bottom of the stack switched
+ *                         from (may be nullptr).
+ * @param size_old         Receives its size (may be nullptr).
+ */
+inline void
+annotateSwitchFinish(void *fake_stack_save, const void **bottom_old,
+                     std::size_t *size_old)
+{
+#if ABSIM_ASAN
+    __sanitizer_finish_switch_fiber(fake_stack_save, bottom_old, size_old);
+#else
+    (void)fake_stack_save;
+    (void)bottom_old;
+    (void)size_old;
+#endif
+}
+
+} // namespace absim::check
+
+#endif // ABSIM_CHECK_SANITIZER_HH

@@ -1,9 +1,10 @@
 #include "core/compare.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "check/check.hh"
 
 namespace absim::core {
 
@@ -29,7 +30,8 @@ ranks(const std::vector<double> &v)
 double
 trendAgreement(const std::vector<double> &a, const std::vector<double> &b)
 {
-    assert(a.size() == b.size());
+    ABSIM_CHECK_EQ(a.size(), b.size(),
+                   "curves must have the same number of points");
     if (a.size() < 2)
         return 1.0;
     const auto ra = ranks(a);
@@ -52,7 +54,8 @@ trendAgreement(const std::vector<double> &a, const std::vector<double> &b)
 double
 meanRatio(const std::vector<double> &a, const std::vector<double> &b)
 {
-    assert(a.size() == b.size());
+    ABSIM_CHECK_EQ(a.size(), b.size(),
+                   "curves must have the same number of points");
     double sum = 0.0;
     std::size_t count = 0;
     for (std::size_t i = 0; i < a.size(); ++i) {
@@ -67,7 +70,8 @@ meanRatio(const std::vector<double> &a, const std::vector<double> &b)
 double
 maxRelGap(const std::vector<double> &a, const std::vector<double> &b)
 {
-    assert(a.size() == b.size());
+    ABSIM_CHECK_EQ(a.size(), b.size(),
+                   "curves must have the same number of points");
     double worst = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
         const double scale = std::max({a[i], b[i], 1e-12});

@@ -1,7 +1,8 @@
 #include "logp/gate.hh"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.hh"
 
 namespace absim::logp {
 
@@ -24,7 +25,8 @@ GateSet::reserve(sim::Tick &last, bool &used, sim::Tick earliest)
 Reservation
 GateSet::reserveSend(net::NodeId n, sim::Tick earliest)
 {
-    assert(n < gates_.size());
+    ABSIM_DCHECK(n < gates_.size(),
+                 "send gate for unknown node " << n);
     NodeGate &gate = gates_[n];
     // Only PerDirection splits the gate; Single and BisectionOnly share
     // one gate per node (the latter filters *which* messages reserve it,
@@ -37,7 +39,8 @@ GateSet::reserveSend(net::NodeId n, sim::Tick earliest)
 Reservation
 GateSet::reserveRecv(net::NodeId n, sim::Tick earliest)
 {
-    assert(n < gates_.size());
+    ABSIM_DCHECK(n < gates_.size(),
+                 "recv gate for unknown node " << n);
     NodeGate &gate = gates_[n];
     if (policy_ == GapPolicy::PerDirection)
         return reserve(gate.recv, gate.usedRecv, earliest);

@@ -1,7 +1,6 @@
 #include "logp/logp_net.hh"
 
-#include <cassert>
-
+#include "check/check.hh"
 #include "sim/trace.hh"
 
 namespace absim::logp {
@@ -14,7 +13,9 @@ LogPNetwork::LogPNetwork(const LogPParams &params, GapPolicy policy)
 LogPTiming
 LogPNetwork::message(net::NodeId src, net::NodeId dst, sim::Tick now)
 {
-    assert(src != dst && "local references never reach the LogP network");
+    ABSIM_CHECK(src != dst,
+                "local reference at node "
+                    << src << " reached the LogP network");
 
     // Under the locality-aware policy, traffic that stays on one side of
     // the bisection does not consume the bisection bandwidth g models.

@@ -1,7 +1,6 @@
 #include "machines/logp_c_machine.hh"
 
-#include <cassert>
-
+#include "check/check.hh"
 #include "sim/process.hh"
 
 namespace absim::mach {
@@ -16,9 +15,27 @@ LogPCMachine::LogPCMachine(sim::EventQueue &eq, net::TopologyKind topo,
                            const CacheConfig &cache_config)
     : Machine(nodes, homes), eq_(eq),
       net_(std::make_unique<logp::LogPNetwork>(
-          logp::paramsFor(topo, nodes), policy))
+          logp::paramsFor(topo, nodes), policy)),
+      checker_(
+          "logp+c", /*exact_sharers=*/true, caches_,
+          [this](BlockId blk) {
+              check::DirInfo info;
+              auto it = oracle_.find(blk);
+              if (it != oracle_.end()) {
+                  info.tracked = true;
+                  info.sharers = it->second.sharers;
+                  info.owner = it->second.owner;
+              }
+              return info;
+          },
+          [this](const std::function<void(BlockId)> &fn) {
+              for (const auto &kv : oracle_)
+                  fn(kv.first);
+          })
 {
-    assert(nodes <= mem::kMaxNodes);
+    ABSIM_CHECK(nodes <= mem::kMaxNodes,
+                nodes << " nodes exceed the " << mem::kMaxNodes
+                      << "-node sharer masks");
     caches_.reserve(nodes);
     for (std::uint32_t i = 0; i < nodes; ++i)
         caches_.push_back(std::make_unique<mem::SetAssocCache>(
@@ -37,6 +54,7 @@ LogPCMachine::makeRoom(NodeId node, BlockId blk)
     if (entry.owner == static_cast<std::int32_t>(node))
         entry.owner = -1; // Writeback is free: data teleports home.
     caches_[node]->setState(victim, LineState::Invalid);
+    checker_.checkBlock(victim);
 }
 
 void
@@ -87,6 +105,7 @@ LogPCMachine::access(MemClient &client, mem::Addr addr, AccessType type,
         invalidateOthers(node, blk, entryOf(blk));
         cache.setState(blk, LineState::Dirty);
         cache.touch(blk);
+        checker_.checkBlock(blk);
         t.busy = kCacheHitNs;
         return t;
     }
@@ -137,6 +156,7 @@ LogPCMachine::access(MemClient &client, mem::Addr addr, AccessType type,
         cache.install(blk, LineState::Dirty);
     }
 
+    checker_.checkBlock(blk);
     t.busy += kCacheHitNs;
     return t;
 }

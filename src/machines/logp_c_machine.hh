@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/coherence.hh"
 #include "logp/logp_net.hh"
 #include "machines/machine.hh"
 #include "mem/cache.hh"
@@ -30,6 +31,13 @@ namespace absim::mach {
 class LogPCMachine : public Machine
 {
   public:
+    /** Zero-cost global coherence bookkeeping for one block. */
+    struct OracleEntry
+    {
+        std::uint64_t sharers = 0;
+        std::int32_t owner = -1;
+    };
+
     LogPCMachine(sim::EventQueue &eq, net::TopologyKind topo,
                  std::uint32_t nodes, const mem::HomeMap &homes,
                  logp::GapPolicy policy = logp::GapPolicy::Single,
@@ -40,20 +48,29 @@ class LogPCMachine : public Machine
 
     MachineKind kind() const override { return MachineKind::LogPC; }
 
+    /** Full SWMR + oracle-agreement sweep.  The oracle bookkeeping is
+     *  exact (no silent stale bits), so the sweep is strict. */
+    void checkInvariants() const override { checker_.checkAll(); }
+
     const logp::LogPNetwork &network() const { return *net_; }
     const mem::SetAssocCache &cache(net::NodeId n) const
     {
         return *caches_[n];
     }
+    const check::CoherenceChecker &checker() const { return checker_; }
+
+    /** @name Test-only hooks.
+     *
+     * Mutable access to the caches and the coherence oracle so tests can
+     * drive them into inconsistent states and prove the checker fires.
+     * Never call these from simulation code.
+     */
+    /// @{
+    mem::SetAssocCache &cacheForTest(net::NodeId n) { return *caches_[n]; }
+    OracleEntry &oracleForTest(mem::BlockId blk) { return entryOf(blk); }
+    /// @}
 
   private:
-    /** Zero-cost global coherence bookkeeping for one block. */
-    struct OracleEntry
-    {
-        std::uint64_t sharers = 0;
-        std::int32_t owner = -1;
-    };
-
     OracleEntry &entryOf(mem::BlockId blk) { return oracle_[blk]; }
 
     /** Silent, free eviction of the LRU victim (data teleports home). */
@@ -67,6 +84,7 @@ class LogPCMachine : public Machine
     std::unique_ptr<logp::LogPNetwork> net_;
     std::vector<std::unique_ptr<mem::SetAssocCache>> caches_;
     std::unordered_map<mem::BlockId, OracleEntry> oracle_;
+    check::CoherenceChecker checker_;
 };
 
 } // namespace absim::mach

@@ -1,6 +1,5 @@
 #include "machines/logp_machine.hh"
 
-#include <cassert>
 
 #include "sim/process.hh"
 

@@ -165,6 +165,13 @@ class Machine
 
     virtual MachineKind kind() const = 0;
 
+    /**
+     * Run the machine's full invariant sweep (coherence state vs
+     * directory), if it maintains one.  Called by the runtime at drain
+     * and by tests; a violation fails an ABSIM_CHECK.
+     */
+    virtual void checkInvariants() const {}
+
     const MachineStats &stats() const { return stats_; }
 
     std::uint32_t nodes() const { return nodes_; }

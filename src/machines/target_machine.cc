@@ -1,7 +1,6 @@
 #include "machines/target_machine.hh"
 
-#include <cassert>
-
+#include "check/check.hh"
 #include "sim/process.hh"
 #include "sim/trace.hh"
 
@@ -19,9 +18,28 @@ TargetMachine::TargetMachine(sim::EventQueue &eq, net::TopologyKind topo,
     : Machine(nodes, homes), eq_(eq),
       net_(std::make_unique<net::DetailedNetwork>(
           eq, net::Topology::make(topo, nodes))),
-      protocol_(protocol)
+      protocol_(protocol),
+      checker_(
+          "target", /*exact_sharers=*/false, caches_,
+          [this](BlockId blk) {
+              check::DirInfo info;
+              if (const mem::DirectoryEntry *e = dir_.peek(blk)) {
+                  info.tracked = true;
+                  info.sharers = e->sharers;
+                  info.owner = e->owner;
+              }
+              return info;
+          },
+          [this](const std::function<void(BlockId)> &fn) {
+              dir_.forEach(
+                  [&fn](BlockId blk, const mem::DirectoryEntry &) {
+                      fn(blk);
+                  });
+          })
 {
-    assert(nodes <= mem::kMaxNodes);
+    ABSIM_CHECK(nodes <= mem::kMaxNodes,
+                nodes << " nodes exceed the " << mem::kMaxNodes
+                      << "-node sharer masks");
     caches_.reserve(nodes);
     for (std::uint32_t i = 0; i < nodes; ++i)
         caches_.push_back(std::make_unique<mem::SetAssocCache>(
@@ -87,6 +105,10 @@ TargetMachine::access(MemClient &client, mem::Addr addr, AccessType type,
         ++stats_.localMem; // Fully node-local transaction.
     }
 
+    // The transaction just committed; its block must satisfy SWMR and
+    // agree with the directory at this quiescent point.
+    checker_.checkBlock(blk);
+
     // The access completes out of the (now valid) cache line.
     t.busy += kCacheHitNs;
     return t;
@@ -101,6 +123,7 @@ TargetMachine::makeRoom(NodeId node, BlockId blk, AccessTiming &t)
         return;
     if (mem::isOwned(vstate)) {
         writeback(node, victim, vstate, t);
+        checker_.checkBlock(victim);
     }
     // Clean (Valid) victims are replaced silently: the directory keeps a
     // stale sharer bit, which at worst causes a harmless spurious
@@ -149,8 +172,9 @@ TargetMachine::readMiss(NodeId node, BlockId blk, AccessTiming &t)
 
     hop(node, home, kCtrlBytes, t); // Request to the home/directory.
 
-    assert(entry.owner != static_cast<std::int32_t>(node) &&
-           "owner cannot read-miss its own block");
+    ABSIM_CHECK(entry.owner != static_cast<std::int32_t>(node),
+                "node " << node << " read-missed block " << blk
+                        << " that it already owns");
     if (entry.owner != mem::DirectoryEntry::kNoOwner) {
         const auto owner = static_cast<NodeId>(entry.owner);
         if (protocol_ == ProtocolKind::Berkeley) {

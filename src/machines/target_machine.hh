@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/coherence.hh"
 #include "machines/machine.hh"
 #include "mem/cache.hh"
 #include "mem/directory.hh"
@@ -47,6 +48,9 @@ class TargetMachine : public Machine
 
     MachineKind kind() const override { return MachineKind::Target; }
 
+    /** Full SWMR + directory-agreement sweep over every tracked block. */
+    void checkInvariants() const override { checker_.checkAll(); }
+
     const net::DetailedNetwork &network() const { return *net_; }
     ProtocolKind protocol() const { return protocol_; }
     const mem::SetAssocCache &cache(net::NodeId n) const
@@ -54,6 +58,18 @@ class TargetMachine : public Machine
         return *caches_[n];
     }
     const mem::Directory &directory() const { return dir_; }
+    const check::CoherenceChecker &checker() const { return checker_; }
+
+    /** @name Test-only hooks.
+     *
+     * Mutable access to protocol state so tests can deliberately drive
+     * the caches and directory into inconsistent states and prove the
+     * coherence checker fires.  Never call these from simulation code.
+     */
+    /// @{
+    mem::SetAssocCache &cacheForTest(net::NodeId n) { return *caches_[n]; }
+    mem::Directory &directoryForTest() { return dir_; }
+    /// @}
 
   private:
     /** One network hop with stats/latency bookkeeping; no-op if src==dst
@@ -86,6 +102,7 @@ class TargetMachine : public Machine
     std::vector<std::unique_ptr<mem::SetAssocCache>> caches_;
     mem::Directory dir_;
     ProtocolKind protocol_;
+    check::CoherenceChecker checker_;
 };
 
 } // namespace absim::mach

@@ -1,7 +1,8 @@
 #include "mem/cache.hh"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "check/check.hh"
 
 namespace absim::mem {
 
@@ -48,7 +49,7 @@ void
 SetAssocCache::touch(BlockId blk)
 {
     Line *line = find(blk);
-    assert(line && "touch of an absent line");
+    ABSIM_DCHECK(line != nullptr, "touch of absent block " << blk);
     line->lastUse = ++useClock_;
 }
 
@@ -56,7 +57,8 @@ bool
 SetAssocCache::victimFor(BlockId blk, BlockId &victim_blk,
                          LineState &victim_state) const
 {
-    assert(find(blk) == nullptr && "victimFor with the block present");
+    ABSIM_DCHECK(find(blk) == nullptr,
+                 "victimFor with block " << blk << " already present");
     const std::uint32_t set = setIndex(blk);
     const Line *victim = nullptr;
     for (std::uint32_t w = 0; w < ways_; ++w) {
@@ -74,8 +76,10 @@ SetAssocCache::victimFor(BlockId blk, BlockId &victim_blk,
 void
 SetAssocCache::install(BlockId blk, LineState state)
 {
-    assert(state != LineState::Invalid);
-    assert(find(blk) == nullptr && "install over a present line");
+    ABSIM_DCHECK(state != LineState::Invalid,
+                 "install of block " << blk << " as Invalid");
+    ABSIM_DCHECK(find(blk) == nullptr,
+                 "install over present block " << blk);
     const std::uint32_t set = setIndex(blk);
     Line *slot = nullptr;
     for (std::uint32_t w = 0; w < ways_; ++w) {
@@ -102,7 +106,7 @@ void
 SetAssocCache::setState(BlockId blk, LineState state)
 {
     Line *line = find(blk);
-    assert(line && "setState of an absent line");
+    ABSIM_DCHECK(line != nullptr, "setState of absent block " << blk);
     if (state == LineState::Invalid) {
         line->state = LineState::Invalid;
         return;

@@ -82,6 +82,15 @@ class Directory
 
     std::size_t entryCount() const { return entries_.size(); }
 
+    /** Visit every tracked block (invariant sweeps, statistics). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[blk, entry] : entries_)
+            fn(blk, entry);
+    }
+
   private:
     // unordered_map guarantees reference stability, which the per-entry
     // FifoMutex requires.

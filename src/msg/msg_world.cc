@@ -1,7 +1,8 @@
 #include "msg/msg_world.hh"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.hh"
 
 namespace absim::msg {
 
@@ -15,18 +16,25 @@ void
 MsgWorld::send(rt::Proc &p, net::NodeId dst, Tag tag, const void *data,
                std::uint32_t bytes)
 {
-    assert(dst < nodes_ && dst != p.node() &&
-           "send must target a different, valid node");
+    ABSIM_CHECK(dst < nodes_ && dst != p.node(),
+                "node " << p.node() << " sent to invalid target " << dst);
     p.syncToEngine();
     const sim::Tick began = eq_.now();
 
     const SendTiming timing = transport_.send(p.node(), dst, bytes);
     ++sent_;
 
-    // Sender accounting: the transport blocked us until senderFreeAt.
-    assert(eq_.now() == timing.senderFreeAt);
+    // Sender accounting: the transport blocked us until senderFreeAt,
+    // and its buckets must partition that interval (conservation).
+    ABSIM_CHECK_EQ(eq_.now(), timing.senderFreeAt,
+                   "transport did not block the sender until its free "
+                   "time");
     const sim::Duration elapsed = eq_.now() - began;
-    assert(timing.senderLatency + timing.senderContention == elapsed);
+    if (check::options().conservation)
+        ABSIM_CHECK_EQ(timing.senderLatency + timing.senderContention,
+                       elapsed,
+                       "sender buckets must partition the blocked "
+                       "interval");
     p.absorbEngineTime(timing.senderLatency, timing.senderContention, 0);
 
     Delivery delivery;
@@ -38,7 +46,10 @@ MsgWorld::send(rt::Proc &p, net::NodeId dst, Tag tag, const void *data,
     delivery.msgContention = timing.msgContention;
 
     const Key key = keyOf(dst, p.node(), tag);
-    assert(timing.deliveredAt >= eq_.now());
+    if (check::options().causality)
+        ABSIM_CHECK(timing.deliveredAt >= eq_.now(),
+                    "message from " << p.node() << " to " << dst
+                                    << " would be delivered in the past");
     eq_.schedule(timing.deliveredAt,
                  [this, key, delivery = std::move(delivery)]() mutable {
                      Channel &channel = channels_[key];
@@ -54,18 +65,21 @@ MsgWorld::send(rt::Proc &p, net::NodeId dst, Tag tag, const void *data,
 std::vector<std::uint8_t>
 MsgWorld::recv(rt::Proc &p, net::NodeId src, Tag tag)
 {
-    assert(src < nodes_ && src != p.node());
+    ABSIM_CHECK(src < nodes_ && src != p.node(),
+                "node " << p.node() << " received from invalid source "
+                        << src);
     p.syncToEngine();
     const sim::Tick began = eq_.now();
 
     const Key key = keyOf(p.node(), src, tag);
     Channel &channel = channels_[key];
     if (channel.ready.empty()) {
-        assert(channel.waiter == nullptr &&
-               "one receiver per channel at a time");
+        ABSIM_CHECK(channel.waiter == nullptr,
+                    "two receivers blocked on the same channel");
         channel.waiter = &p;
         p.process()->suspend();
-        assert(!channel.ready.empty());
+        ABSIM_CHECK(!channel.ready.empty(),
+                    "receiver woke with no message delivered");
     }
 
     Delivery delivery = std::move(channel.ready.front());

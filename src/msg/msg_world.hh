@@ -23,13 +23,13 @@
 #ifndef ABSIM_MSG_MSG_WORLD_HH
 #define ABSIM_MSG_MSG_WORLD_HH
 
-#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <map>
 #include <vector>
 
+#include "check/check.hh"
 #include "msg/transport.hh"
 #include "runtime/context.hh"
 
@@ -74,7 +74,8 @@ class MsgWorld
         static_assert(std::is_trivially_copyable_v<T>);
         const auto bytes = recv(p, src, tag);
         T value;
-        assert(bytes.size() == sizeof(T));
+        ABSIM_CHECK_EQ(bytes.size(), sizeof(T),
+                       "typed receive got a payload of the wrong size");
         std::memcpy(&value, bytes.data(), sizeof(T));
         return value;
     }

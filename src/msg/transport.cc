@@ -1,7 +1,6 @@
 #include "msg/transport.hh"
 
-#include <cassert>
-
+#include "check/check.hh"
 #include "sim/process.hh"
 
 namespace absim::msg {
@@ -18,8 +17,8 @@ SendTiming
 DetailedTransport::send(net::NodeId src, net::NodeId dst,
                         std::uint32_t bytes)
 {
-    assert(sim::Process::current() &&
-           "send outside a simulated process");
+    ABSIM_CHECK(sim::Process::current() != nullptr,
+                "send outside a simulated process");
     // Circuit switching holds the sender for the whole transfer: the
     // payload is delivered exactly when the sender is freed, and all
     // cost lands on the sender.
@@ -44,7 +43,7 @@ LogPTransport::send(net::NodeId src, net::NodeId dst, std::uint32_t bytes)
 {
     (void)bytes; // LogP messages are fixed-size; L already assumes 32 B.
     sim::Process *self = sim::Process::current();
-    assert(self && "send outside a simulated process");
+    ABSIM_CHECK(self != nullptr, "send outside a simulated process");
 
     const sim::Tick now = eq_.now();
     const logp::LogPTiming m = net_->message(src, dst, now);

@@ -1,7 +1,6 @@
 #include "net/network.hh"
 
-#include <cassert>
-
+#include "check/check.hh"
 #include "sim/trace.hh"
 
 namespace absim::net {
@@ -18,9 +17,11 @@ DetailedNetwork::DetailedNetwork(sim::EventQueue &eq,
 TransferResult
 DetailedNetwork::transfer(NodeId src, NodeId dst, std::uint32_t bytes)
 {
-    assert(src != dst && "local transfers never reach the network");
+    ABSIM_CHECK(src != dst,
+                "local transfer at node " << src
+                                          << " reached the network");
     sim::Process *self = sim::Process::current();
-    assert(self && "transfer outside a simulated process");
+    ABSIM_CHECK(self != nullptr, "transfer outside a simulated process");
 
     std::vector<LinkId> path;
     topo_->route(src, dst, path);

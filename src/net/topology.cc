@@ -1,7 +1,8 @@
 #include "net/topology.hh"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "check/check.hh"
 
 namespace absim::net {
 
@@ -69,7 +70,7 @@ FullTopology::linkCount() const
 void
 FullTopology::route(NodeId src, NodeId dst, std::vector<LinkId> &out) const
 {
-    assert(src != dst);
+    ABSIM_DCHECK(src != dst, "route from node " << src << " to itself");
     out.push_back(src * nodes_ + dst);
 }
 
@@ -82,7 +83,8 @@ FullTopology::hops(NodeId src, NodeId dst) const
 std::pair<NodeId, NodeId>
 FullTopology::linkEndpoints(LinkId link) const
 {
-    assert(link < linkCount());
+    ABSIM_DCHECK(link < linkCount(),
+                 "link id " << link << " out of range");
     return {link / nodes_, link % nodes_};
 }
 
@@ -117,7 +119,7 @@ void
 HypercubeTopology::route(NodeId src, NodeId dst,
                          std::vector<LinkId> &out) const
 {
-    assert(src != dst);
+    ABSIM_DCHECK(src != dst, "route from node " << src << " to itself");
     // E-cube: correct differing address bits from lowest to highest.
     NodeId cur = src;
     for (std::uint32_t dim = 0; dim < dims_; ++dim) {
@@ -126,7 +128,8 @@ HypercubeTopology::route(NodeId src, NodeId dst,
             cur ^= (1u << dim);
         }
     }
-    assert(cur == dst);
+    ABSIM_DCHECK(cur == dst, "e-cube routing stopped at node "
+                                 << cur << " instead of " << dst);
 }
 
 std::uint32_t
@@ -138,7 +141,8 @@ HypercubeTopology::hops(NodeId src, NodeId dst) const
 std::pair<NodeId, NodeId>
 HypercubeTopology::linkEndpoints(LinkId link) const
 {
-    assert(link < linkCount());
+    ABSIM_DCHECK(link < linkCount(),
+                 "link id " << link << " out of range");
     const NodeId from = link / dims_;
     const std::uint32_t dim = link % dims_;
     return {from, from ^ (1u << dim)};
@@ -169,7 +173,9 @@ MeshTopology::shapeFor(NodeId p, std::uint32_t &rows, std::uint32_t &cols)
 MeshTopology::MeshTopology(NodeId p) : Topology(p)
 {
     shapeFor(p, rows_, cols_);
-    assert(rows_ * cols_ == p);
+    ABSIM_CHECK(rows_ * cols_ == p, rows_ << "x" << cols_
+                                          << " mesh cannot hold " << p
+                                          << " nodes");
 }
 
 LinkId
@@ -187,7 +193,7 @@ MeshTopology::linkCount() const
 void
 MeshTopology::route(NodeId src, NodeId dst, std::vector<LinkId> &out) const
 {
-    assert(src != dst);
+    ABSIM_DCHECK(src != dst, "route from node " << src << " to itself");
     std::uint32_t r = src / cols_, c = src % cols_;
     const std::uint32_t dr = dst / cols_, dc = dst % cols_;
     // XY routing: fix the column (X) first, then the row (Y).
@@ -216,22 +222,23 @@ MeshTopology::hops(NodeId src, NodeId dst) const
 std::pair<NodeId, NodeId>
 MeshTopology::linkEndpoints(LinkId link) const
 {
-    assert(link < linkCount());
+    ABSIM_DCHECK(link < linkCount(),
+                 "link id " << link << " out of range");
     const NodeId from = link / 4;
     const std::uint32_t dir = link % 4;
     const std::uint32_t r = from / cols_, c = from % cols_;
     switch (dir) {
       case 0: // east
-        assert(c + 1 < cols_);
+        ABSIM_DCHECK(c + 1 < cols_, "east link off the mesh edge");
         return {from, from + 1};
       case 1: // west
-        assert(c > 0);
+        ABSIM_DCHECK(c > 0, "west link off the mesh edge");
         return {from, from - 1};
       case 2: // south
-        assert(r + 1 < rows_);
+        ABSIM_DCHECK(r + 1 < rows_, "south link off the mesh edge");
         return {from, from + cols_};
       default: // north
-        assert(r > 0);
+        ABSIM_DCHECK(r > 0, "north link off the mesh edge");
         return {from, from - cols_};
     }
 }

@@ -1,9 +1,9 @@
 #include "runtime/context.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
 
+#include "check/check.hh"
 #include "mem/addr.hh"
 
 namespace absim::rt {
@@ -19,8 +19,15 @@ Proc::procs() const
 void
 Proc::syncToEngine()
 {
-    assert(process_ && sim::Process::current() == process_);
-    assert(localTime_ >= rt_.engine().now());
+    ABSIM_CHECK(process_ != nullptr &&
+                    sim::Process::current() == process_,
+                "syncToEngine outside processor " << id_
+                                                  << "'s own process");
+    ABSIM_CHECK(localTime_ >= rt_.engine().now(),
+                "processor " << id_ << " local clock " << localTime_
+                             << " fell behind the engine at "
+                             << rt_.engine().now());
+    syncedThisAccess_ = true;
     process_->delayUntil(localTime_);
 }
 
@@ -49,12 +56,36 @@ Proc::computeNs(sim::Duration ns)
 void
 Proc::access(mem::Addr addr, mach::AccessType type, std::uint32_t bytes)
 {
-    assert(bytes <= mem::kBlockBytes);
-    assert(mem::blockOf(addr) == mem::blockOf(addr + bytes - 1) &&
-           "access must not straddle cache blocks");
+    ABSIM_DCHECK(bytes <= mem::kBlockBytes,
+                 "access of " << bytes << " bytes exceeds a cache block");
+    ABSIM_DCHECK(mem::blockOf(addr) == mem::blockOf(addr + bytes - 1),
+                 "access at " << addr << " straddles cache blocks");
     maybeYield();
+    ABSIM_DCHECK(localTime_ >= rt_.engine().now(),
+                 "processor " << id_ << " issued an access with its local "
+                              << "clock behind the engine");
+    const sim::Tick began = localTime_;
+    syncedThisAccess_ = false;
     const mach::AccessTiming t =
         rt_.machine().access(*this, addr, type, bytes);
+    // Overhead conservation: a machine that blocked must charge exactly
+    // the elapsed engine time as latency + contention, and one that did
+    // not block may charge neither.
+    if (check::options().conservation) {
+        ABSIM_CHECK(syncedThisAccess_ || !t.networked,
+                    "machine reported a networked access without "
+                    "synchronizing to the engine first");
+        if (syncedThisAccess_)
+            ABSIM_CHECK_EQ(t.latency + t.contention,
+                           rt_.engine().now() - began,
+                           "overhead buckets must partition the engine "
+                           "time this access blocked for");
+        else
+            ABSIM_CHECK(t.latency == 0 && t.contention == 0,
+                        "non-blocking access charged latency="
+                            << t.latency << " contention="
+                            << t.contention);
+    }
     // If the machine blocked, the engine clock carries the completion
     // time; otherwise the engine is behind our private clock.  Either
     // way the trailing local cost is added on top.
@@ -122,9 +153,12 @@ Proc::absorbEngineTime(sim::Duration latency, sim::Duration contention,
                        sim::Duration wait)
 {
     const sim::Tick now = rt_.engine().now();
-    assert(now >= localTime_);
-    assert(latency + contention + wait == now - localTime_ &&
-           "buckets must partition the elapsed engine time");
+    ABSIM_CHECK(now >= localTime_,
+                "absorbEngineTime with processor " << id_
+                    << " ahead of the engine");
+    if (check::options().conservation)
+        ABSIM_CHECK_EQ(latency + contention + wait, now - localTime_,
+                       "buckets must partition the elapsed engine time");
     localTime_ = now;
     stats_.latency += latency;
     stats_.contention += contention;
@@ -135,7 +169,7 @@ Runtime::Runtime(sim::EventQueue &eq, mach::Machine &machine,
                  std::uint32_t p)
     : eq_(eq), machine_(machine), p_(p)
 {
-    assert(p >= 1);
+    ABSIM_CHECK(p >= 1, "a runtime needs at least one processor");
 }
 
 Runtime::~Runtime() = default;
@@ -143,7 +177,7 @@ Runtime::~Runtime() = default;
 void
 Runtime::spawn(std::function<void(Proc &)> body)
 {
-    assert(procs_.empty() && "spawn may only be called once");
+    ABSIM_CHECK(procs_.empty(), "spawn may only be called once");
     procs_.reserve(p_);
     processes_.reserve(p_);
     for (std::uint32_t i = 0; i < p_; ++i)
@@ -173,8 +207,13 @@ Runtime::run()
     eq_.run();
     if (workerError_)
         std::rethrow_exception(workerError_);
-    for ([[maybe_unused]] const auto &p : processes_)
-        assert(p->finished() && "a worker is still blocked at drain");
+    for (const auto &p : processes_)
+        ABSIM_CHECK(p->finished(), "worker \"" << p->name()
+                                       << "\" is still blocked at drain");
+    // The caches and directory must be mutually consistent once the
+    // simulation has drained (full sweep; per-transaction checks ran
+    // incrementally during the run).
+    machine_.checkInvariants();
 }
 
 stats::Profile

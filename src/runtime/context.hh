@@ -129,6 +129,10 @@ class Proc : public mach::MemClient
     net::NodeId id_;
     sim::Process *process_ = nullptr;
     sim::Tick localTime_ = 0;
+
+    /** Set by syncToEngine(); reset at the top of every access so the
+     *  conservation checker knows whether the machine blocked. */
+    bool syncedThisAccess_ = false;
     stats::ProcStats stats_;
     stats::ProcStats phaseSnapshot_;
     stats::Histogram remoteHist_;

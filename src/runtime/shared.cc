@@ -1,8 +1,9 @@
 #include "runtime/shared.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "check/check.hh"
 
 namespace absim::rt {
 
@@ -23,7 +24,9 @@ constexpr mem::Addr kHeapBase = mem::kBlockBytes;
 SharedHeap::SharedHeap(std::uint32_t nodes)
     : nodes_(nodes), next_(kHeapBase)
 {
-    assert(nodes >= 1 && nodes <= mem::kMaxNodes);
+    ABSIM_CHECK(nodes >= 1 && nodes <= mem::kMaxNodes,
+                "heap for " << nodes << " nodes (must be 1.."
+                            << mem::kMaxNodes << ")");
 }
 
 mem::Addr

@@ -15,10 +15,10 @@
 #ifndef ABSIM_RUNTIME_SHARED_HH
 #define ABSIM_RUNTIME_SHARED_HH
 
-#include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "check/check.hh"
 #include "mem/addr.hh"
 #include "runtime/context.hh"
 
@@ -98,7 +98,9 @@ class SharedArray
     mem::Addr
     addrOf(std::size_t i) const
     {
-        assert(i < data_.size());
+        ABSIM_DCHECK(i < data_.size(),
+                     "index " << i << " out of bounds (size "
+                              << data_.size() << ")");
         return base_ + i * sizeof(T);
     }
 

@@ -1,8 +1,9 @@
 #include "sim/event_queue.hh"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "check/check.hh"
 
 namespace absim::sim {
 
@@ -17,7 +18,10 @@ EventQueue::checkCap() const
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
-    assert(when >= now_ && "cannot schedule an event in the past");
+    if (check::options().causality)
+        ABSIM_CHECK(when >= now_, "event scheduled " << now_ - when
+                                      << " ns in the past (now=" << now_
+                                      << ")");
     queue_.push(Event{when, nextSeq_++, std::move(cb)});
 }
 
@@ -31,6 +35,10 @@ EventQueue::run()
         // std::function via const_cast (safe: the element is removed
         // immediately afterwards and never re-compared).
         auto &top = const_cast<Event &>(queue_.top());
+        if (check::options().causality)
+            ABSIM_CHECK(top.when >= now_,
+                        "engine clock would run backwards: now=" << now_
+                            << " next event at " << top.when);
         now_ = top.when;
         Callback cb = std::move(top.cb);
         queue_.pop();
@@ -47,6 +55,10 @@ EventQueue::runUntil(Tick limit)
         if (queue_.top().when > limit)
             return false;
         auto &top = const_cast<Event &>(queue_.top());
+        if (check::options().causality)
+            ABSIM_CHECK(top.when >= now_,
+                        "engine clock would run backwards: now=" << now_
+                            << " next event at " << top.when);
         now_ = top.when;
         Callback cb = std::move(top.cb);
         queue_.pop();

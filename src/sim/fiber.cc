@@ -1,8 +1,11 @@
 #include "sim/fiber.hh"
 
-#include <cassert>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
+
+#include "check/check.hh"
+#include "check/sanitizer.hh"
 
 namespace absim::sim {
 
@@ -14,6 +17,14 @@ thread_local Fiber *tl_current = nullptr;
 /// Recycled default-sized stacks (bounded).
 thread_local std::vector<std::unique_ptr<unsigned char[]>> tl_stack_pool;
 constexpr std::size_t kMaxPooledStacks = 128;
+
+/**
+ * Canary word written at the overflow end (lowest addresses) of every
+ * fiber stack.  Stacks grow downwards, so an overflow scribbles here
+ * before escaping the buffer; the word is verified on every switch out
+ * of the fiber, catching the overflow before it can corrupt the heap.
+ */
+constexpr std::uint64_t kStackCanary = 0xF1BE25AFE57AC000ull;
 
 } // namespace
 
@@ -43,7 +54,11 @@ Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
     : entry_(std::move(entry)), stackBytes_(stack_bytes),
       stack_(acquireStack(stack_bytes))
 {
-    assert(entry_ && "fiber needs an entry function");
+    ABSIM_CHECK(entry_ != nullptr, "fiber needs an entry function");
+    ABSIM_CHECK(stackBytes_ > sizeof(kStackCanary),
+                "fiber stack of " << stackBytes_
+                                  << " bytes cannot hold the canary");
+    std::memcpy(stack_.get(), &kStackCanary, sizeof(kStackCanary));
 }
 
 Fiber::~Fiber()
@@ -54,15 +69,40 @@ Fiber::~Fiber()
 }
 
 void
+Fiber::checkCanary() const
+{
+    std::uint64_t word = 0;
+    std::memcpy(&word, stack_.get(), sizeof(word));
+    ABSIM_CHECK(word == kStackCanary,
+                "fiber stack overflow: canary at the bottom of the "
+                    << stackBytes_
+                    << "-byte stack was clobbered (0x" << std::hex << word
+                    << std::dec << ")");
+}
+
+void
+Fiber::corruptStackCanaryForTest()
+{
+    std::memset(stack_.get(), 0x5c, sizeof(kStackCanary));
+}
+
+void
 Fiber::trampoline()
 {
     Fiber *self = tl_current;
-    assert(self != nullptr);
+    ABSIM_CHECK(self != nullptr, "fiber trampoline without a current fiber");
+    // First instruction on this stack: finish the switch resume() began
+    // and learn the scheduler stack's bounds for the switches back.
+    check::annotateSwitchFinish(nullptr, &self->switchFromBottom_,
+                                &self->switchFromSize_);
     self->entry_();
     self->finished_ = true;
     // Return to the resumer; uc_link is set up to do this, but swapping
-    // explicitly keeps tl_current coherent.
+    // explicitly keeps tl_current coherent.  The nullptr handle tells
+    // ASan this stack is abandoned for good.
     tl_current = nullptr;
+    check::annotateSwitchStart(nullptr, self->switchFromBottom_,
+                               self->switchFromSize_);
     swapcontext(&self->context_, &self->returnContext_);
     // Never reached.
     std::abort();
@@ -71,9 +111,9 @@ Fiber::trampoline()
 void
 Fiber::resume()
 {
-    assert(!finished_ && "cannot resume a finished fiber");
-    assert(tl_current == nullptr &&
-           "fibers may only be resumed from the scheduler context");
+    ABSIM_CHECK(!finished_, "resume of a finished fiber");
+    ABSIM_CHECK(tl_current == nullptr,
+                "fibers may only be resumed from the scheduler context");
 
     if (!started_) {
         started_ = true;
@@ -84,21 +124,32 @@ Fiber::resume()
         makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 0);
     }
     tl_current = this;
+    void *fake_stack = nullptr;
+    check::annotateSwitchStart(&fake_stack, stack_.get(), stackBytes_);
     swapcontext(&returnContext_, &context_);
+    check::annotateSwitchFinish(fake_stack, nullptr, nullptr);
     // Back in the scheduler: either the fiber yielded (tl_current reset in
     // yield()) or it finished (reset in trampoline()).
-    assert(tl_current == nullptr);
+    checkCanary();
+    ABSIM_DCHECK(tl_current == nullptr,
+                 "fiber switch left a stale current fiber");
 }
 
 void
 Fiber::yield()
 {
     Fiber *self = tl_current;
-    assert(self != nullptr && "yield() called outside any fiber");
+    ABSIM_CHECK(self != nullptr, "yield() called outside any fiber");
+    self->checkCanary();
     tl_current = nullptr;
+    void *fake_stack = nullptr;
+    check::annotateSwitchStart(&fake_stack, self->switchFromBottom_,
+                               self->switchFromSize_);
     swapcontext(&self->context_, &self->returnContext_);
+    check::annotateSwitchFinish(fake_stack, &self->switchFromBottom_,
+                                &self->switchFromSize_);
     // Resumed again.
-    assert(tl_current == self);
+    ABSIM_DCHECK(tl_current == self, "resume handshake out of sync");
 }
 
 Fiber *

@@ -62,8 +62,17 @@ class Fiber
     /** True once the entry function has returned. */
     bool finished() const { return finished_; }
 
+    /**
+     * Clobber the stack-overflow canary, simulating an overflow without
+     * undefined behaviour.  Test-only: the next canary check fires.
+     */
+    void corruptStackCanaryForTest();
+
   private:
     static void trampoline();
+
+    /** Verify the canary word at the overflow end of the stack. */
+    void checkCanary() const;
 
     /**
      * Fiber stacks are recycled through a thread-local pool: simulations
@@ -83,6 +92,14 @@ class Fiber
     ucontext_t returnContext_;
     bool started_ = false;
     bool finished_ = false;
+
+    /**
+     * Bounds of the stack this fiber last switched from, captured by the
+     * ASan fiber annotations so the return switch can name its target.
+     * Unused (but cheap) when ASan is off.
+     */
+    const void *switchFromBottom_ = nullptr;
+    std::size_t switchFromSize_ = 0;
 };
 
 } // namespace absim::sim

@@ -1,7 +1,8 @@
 #include "sim/process.hh"
 
-#include <cassert>
 #include <utility>
+
+#include "check/check.hh"
 
 namespace absim::sim {
 
@@ -46,8 +47,11 @@ Process::scheduleResume(Tick when)
 void
 Process::delayUntil(Tick when)
 {
-    assert(current() == this && "delayUntil from outside the process");
-    assert(when >= eq_.now());
+    ABSIM_CHECK(current() == this,
+                "delayUntil from outside process \"" << name_ << "\"");
+    ABSIM_CHECK(when >= eq_.now(),
+                "process \"" << name_ << "\" delayed into the past ("
+                    << when << " < " << eq_.now() << ")");
     scheduleResume(when);
     tl_current_process = nullptr;
     Fiber::yield();
@@ -57,18 +61,21 @@ Process::delayUntil(Tick when)
 void
 Process::suspend()
 {
-    assert(current() == this && "suspend from outside the process");
+    ABSIM_CHECK(current() == this,
+                "suspend from outside process \"" << name_ << "\"");
     suspended_ = true;
     tl_current_process = nullptr;
     Fiber::yield();
     tl_current_process = this;
-    assert(!suspended_);
+    ABSIM_DCHECK(!suspended_, "woken process still marked suspended");
 }
 
 void
 Process::wake()
 {
-    assert(suspended_ && "wake of a process that is not suspended");
+    ABSIM_CHECK(suspended_,
+                "wake of process \"" << name_
+                                     << "\" that is not suspended");
     suspended_ = false;
     scheduleResume(eq_.now());
 }

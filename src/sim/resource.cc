@@ -1,6 +1,6 @@
 #include "sim/resource.hh"
 
-#include <cassert>
+#include "check/check.hh"
 
 namespace absim::sim {
 
@@ -8,7 +8,7 @@ Duration
 FifoMutex::acquire()
 {
     Process *self = Process::current();
-    assert(self && "FifoMutex::acquire outside a process");
+    ABSIM_CHECK(self != nullptr, "FifoMutex::acquire outside a process");
     if (!locked_ && waiters_.empty()) {
         locked_ = true;
         return 0;
@@ -17,7 +17,7 @@ FifoMutex::acquire()
     waiters_.push_back(self);
     self->suspend();
     // Woken by release(): the mutex was handed to us directly.
-    assert(locked_);
+    ABSIM_DCHECK(locked_, "FifoMutex hand-off lost the lock");
     Duration waited = self->engine().now() - began;
     totalWait_ += waited;
     return waited;
@@ -26,7 +26,7 @@ FifoMutex::acquire()
 void
 FifoMutex::release()
 {
-    assert(locked_ && "release of an unlocked FifoMutex");
+    ABSIM_CHECK(locked_, "release of an unlocked FifoMutex");
     if (waiters_.empty()) {
         locked_ = false;
         return;
@@ -41,7 +41,7 @@ void
 Condition::wait()
 {
     Process *self = Process::current();
-    assert(self && "Condition::wait outside a process");
+    ABSIM_CHECK(self != nullptr, "Condition::wait outside a process");
     waiters_.push_back(self);
     self->suspend();
 }
@@ -58,7 +58,7 @@ Condition::notifyAll()
 void
 Latch::countDown()
 {
-    assert(count_ > 0);
+    ABSIM_CHECK(count_ > 0, "countDown of an exhausted Latch");
     if (--count_ == 0 && waiter_ != nullptr) {
         Process *w = waiter_;
         waiter_ = nullptr;
@@ -70,8 +70,8 @@ void
 Latch::await()
 {
     Process *self = Process::current();
-    assert(self && "Latch::await outside a process");
-    assert(waiter_ == nullptr && "Latch supports a single waiter");
+    ABSIM_CHECK(self != nullptr, "Latch::await outside a process");
+    ABSIM_CHECK(waiter_ == nullptr, "Latch supports a single waiter");
     if (count_ == 0)
         return;
     waiter_ = self;
