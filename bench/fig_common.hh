@@ -4,10 +4,23 @@
  *
  * Every figure bench sweeps P over the paper's processor counts for one
  * (application, topology, metric) combination and prints the three
- * machine curves.  Environment knobs:
- *   ABSIM_MAX_PROCS  cap the sweep (default 32)
- *   ABSIM_SIZE       override the app problem size
- *   ABSIM_CSV_DIR    additionally write <dir>/<app>_<net>_<metric>.csv
+ * machine curves.  The sweep runs under the resilient harness
+ * (core::sweepFigureSafe): a failed point is reported and the rest of
+ * the figure still completes, and with a journal directory set an
+ * interrupted sweep resumes from its checkpoint.  Environment knobs:
+ *   ABSIM_MAX_PROCS     cap the sweep (default 32)
+ *   ABSIM_SIZE          override the app problem size
+ *   ABSIM_CSV_DIR       additionally write <dir>/<app>_<net>_<metric>.csv
+ *   ABSIM_JSON_DIR      write <dir>/<app>_<net>_<metric>.json (figure +
+ *                       failures) and, if any point failed, the failure
+ *                       manifest <dir>/<app>_<net>_<metric>.failures.json
+ *   ABSIM_JOURNAL_DIR   checkpoint to <dir>/<app>_<net>_<metric>.journal.jsonl
+ *   ABSIM_MAX_EVENTS    per-run event budget (0 = unlimited)
+ *   ABSIM_WALL_SECONDS  per-run wall-clock budget (0 = unlimited)
+ *   ABSIM_STALL_LIMIT   dispatches without sim-time progress before the
+ *                       livelock watchdog fires (default 10000000)
+ *
+ * Exit status: 0 on a complete figure, 3 if any point failed.
  */
 
 #ifndef ABSIM_BENCH_FIG_COMMON_HH
@@ -40,21 +53,58 @@ runFigureMain(const std::string &title, const std::string &app,
         if (p <= max_procs)
             procs.push_back(p);
 
-    const core::Figure figure =
-        core::sweepFigure(title, base, topology, metric, procs);
-    core::printFigure(std::cout, figure);
+    const std::string stem = app + "_" + net::toString(topology) + "_" +
+                             core::toString(metric);
+
+    core::SweepOptions options;
+    if (const char *dir = std::getenv("ABSIM_JOURNAL_DIR"))
+        options.journalPath =
+            std::string(dir) + "/" + stem + ".journal.jsonl";
+    if (const char *cap = std::getenv("ABSIM_MAX_EVENTS"))
+        options.policy.budget.maxEvents = std::strtoull(cap, nullptr, 10);
+    if (const char *cap = std::getenv("ABSIM_WALL_SECONDS"))
+        options.policy.budget.maxWallSeconds = std::strtod(cap, nullptr);
+    if (const char *cap = std::getenv("ABSIM_STALL_LIMIT"))
+        options.policy.budget.stallDispatchLimit =
+            std::strtoull(cap, nullptr, 10);
+
+    const core::SweepResult result =
+        core::sweepFigureSafe(title, base, topology, metric, procs, options);
+    core::printFigure(std::cout, result.figure);
+
+    for (const core::FailedPoint &f : result.failures)
+        std::cerr << "failed point: procs=" << f.procs << " machine="
+                  << f.machine << " error=" << f.error << ": " << f.message
+                  << "\n";
 
     if (const char *dir = std::getenv("ABSIM_CSV_DIR")) {
-        const std::string path = std::string(dir) + "/" + app + "_" +
-                                 net::toString(topology) + "_" +
-                                 core::toString(metric) + ".csv";
+        const std::string path = std::string(dir) + "/" + stem + ".csv";
         std::ofstream csv(path);
         if (csv)
-            core::writeFigureCsv(csv, figure);
+            core::writeFigureCsv(csv, result.figure);
         else
             std::cerr << "warning: cannot write " << path << "\n";
     }
-    return 0;
+    if (const char *dir = std::getenv("ABSIM_JSON_DIR")) {
+        const std::string path = std::string(dir) + "/" + stem + ".json";
+        std::ofstream json(path);
+        if (json)
+            core::writeFigureJson(json, result);
+        else
+            std::cerr << "warning: cannot write " << path << "\n";
+        if (!result.complete()) {
+            const std::string manifest_path =
+                std::string(dir) + "/" + stem + ".failures.json";
+            std::ofstream manifest(manifest_path);
+            if (manifest)
+                core::writeFailureManifest(manifest, result.figure,
+                                           result.failures);
+            else
+                std::cerr << "warning: cannot write " << manifest_path
+                          << "\n";
+        }
+    }
+    return result.complete() ? 0 : 3;
 }
 
 } // namespace absim::bench

@@ -6,30 +6,38 @@
  *
  *   run_cli --app cg --machine target --topo mesh --procs 16 \
  *           --size 512 --iters 5 --cache-kb 64 --policy single
+ *
+ * Bad flags print a diagnostic naming the offending value plus the
+ * valid choices, then the usage text, and exit 2.  Simulation failures
+ * (deadlock, exceeded budget, invariant/validation failure) print the
+ * structured RunError and exit 1.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/experiment.hh"
+#include "fault/fault.hh"
 
 using namespace absim;
 
 namespace {
 
-[[noreturn]] void
-usage(const char *argv0)
+void
+usage(std::FILE *out, const char *argv0)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: %s [options]\n"
-        "  --app NAME       ep|is|cg|cholesky|fft|stencil (default fft)\n"
+        "  --app NAME       ep|is|cg|cholesky|fft|stencil|radix|"
+        "synthetic (default fft)\n"
         "  --machine KIND   target|logp|logp+c (default target)\n"
         "  --topo NAME      full|cube|mesh (default full)\n"
-        "  --procs P        power of two <= 64 (default 8)\n"
+        "  --procs P        1..64 (default 8)\n"
         "  --size N         problem size (default: app-specific)\n"
         "  --iters K        iteration count where applicable\n"
         "  --seed S         workload seed (default 12345)\n"
@@ -38,9 +46,62 @@ usage(const char *argv0)
         "  --protocol NAME  berkeley|msi (target machine; default "
         "berkeley)\n"
         "  --cache-kb KB    cache size per node (default 64)\n"
-        "  --no-check       skip result validation\n",
+        "  --no-check       skip result validation\n"
+        "  --max-events N   abort after N engine events (0 = unlimited)\n"
+        "  --wall-seconds S abort after S wall-clock seconds (0 = "
+        "unlimited)\n"
+        "  --stall-limit N  deadlock watchdog: dispatches without "
+        "sim-time\n"
+        "                   progress before aborting (default 10000000)\n"
+        "  --retries N      total attempts for retryable failures "
+        "(default 2)\n"
+        "  --fault-plan S   arm the fault injector, e.g.\n"
+        "                   'wedge@120:node=2; corrupt@80; seed=7'\n"
+        "                   (see docs/ROBUSTNESS.md)\n",
         argv0);
+}
+
+[[noreturn]] void
+badFlag(const char *argv0, const std::string &what)
+{
+    std::fprintf(stderr, "error: %s\n\n", what.c_str());
+    usage(stderr, argv0);
     std::exit(2);
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &name : names) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+/** Parse a non-negative integer flag value; reject trailing garbage. */
+std::uint64_t
+parseUint(const char *argv0, const std::string &flag, const char *text)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        badFlag(argv0, "invalid " + flag + " value '" + text +
+                           "' (expected a non-negative integer)");
+    return v;
+}
+
+double
+parseDouble(const char *argv0, const std::string &flag, const char *text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || v < 0.0)
+        badFlag(argv0, "invalid " + flag + " value '" + text +
+                           "' (expected a non-negative number)");
+    return v;
 }
 
 } // namespace
@@ -49,18 +110,33 @@ int
 main(int argc, char **argv)
 {
     core::RunConfig config;
+    core::RunPolicy policy;
+    fault::Plan plan;
     const char *argv0 = argv[0];
 
     auto next = [&](int &i) -> const char * {
         if (++i >= argc)
-            usage(argv0);
+            badFlag(argv0, std::string("missing value after ") +
+                               argv[i - 1]);
         return argv[i];
     };
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--app") {
-            config.app = next(i);
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout, argv0);
+            return 0;
+        } else if (arg == "--app") {
+            const std::string v = next(i);
+            try {
+                (void)apps::makeApp(v);
+            } catch (const std::invalid_argument &) {
+                badFlag(argv0,
+                        "unknown app '" + v + "' (valid: " +
+                            joinNames(apps::appNames()) + ", " +
+                            joinNames(apps::extensionAppNames()) + ")");
+            }
+            config.app = v;
         } else if (arg == "--machine") {
             const std::string v = next(i);
             if (v == "target")
@@ -70,7 +146,8 @@ main(int argc, char **argv)
             else if (v == "logp+c" || v == "logpc")
                 config.machine = mach::MachineKind::LogPC;
             else
-                usage(argv0);
+                badFlag(argv0, "unknown machine '" + v +
+                                   "' (valid: target, logp, logp+c)");
         } else if (arg == "--topo") {
             const std::string v = next(i);
             if (v == "full")
@@ -80,17 +157,22 @@ main(int argc, char **argv)
             else if (v == "mesh")
                 config.topology = net::TopologyKind::Mesh2D;
             else
-                usage(argv0);
+                badFlag(argv0, "unknown topology '" + v +
+                                   "' (valid: full, cube, mesh)");
         } else if (arg == "--procs") {
-            config.procs =
-                static_cast<std::uint32_t>(std::atoi(next(i)));
+            const std::uint64_t p = parseUint(argv0, arg, next(i));
+            if (p < 1 || p > 64)
+                badFlag(argv0, "invalid --procs value '" +
+                                   std::to_string(p) +
+                                   "' (valid: 1..64)");
+            config.procs = static_cast<std::uint32_t>(p);
         } else if (arg == "--size") {
-            config.params.n = std::strtoull(next(i), nullptr, 10);
+            config.params.n = parseUint(argv0, arg, next(i));
         } else if (arg == "--iters") {
             config.params.iterations =
-                static_cast<std::uint32_t>(std::atoi(next(i)));
+                static_cast<std::uint32_t>(parseUint(argv0, arg, next(i)));
         } else if (arg == "--seed") {
-            config.params.seed = std::strtoull(next(i), nullptr, 10);
+            config.params.seed = parseUint(argv0, arg, next(i));
         } else if (arg == "--policy") {
             const std::string v = next(i);
             if (v == "single")
@@ -100,7 +182,9 @@ main(int argc, char **argv)
             else if (v == "bisection")
                 config.gapPolicy = logp::GapPolicy::BisectionOnly;
             else
-                usage(argv0);
+                badFlag(argv0,
+                        "unknown gap policy '" + v +
+                            "' (valid: single, per-direction, bisection)");
         } else if (arg == "--protocol") {
             const std::string v = next(i);
             if (v == "berkeley")
@@ -108,66 +192,89 @@ main(int argc, char **argv)
             else if (v == "msi")
                 config.protocol = mach::ProtocolKind::Msi;
             else
-                usage(argv0);
+                badFlag(argv0, "unknown protocol '" + v +
+                                   "' (valid: berkeley, msi)");
         } else if (arg == "--cache-kb") {
-            config.cache.bytes =
-                static_cast<std::uint32_t>(std::atoi(next(i))) * 1024;
+            config.cache.bytes = static_cast<std::uint32_t>(
+                parseUint(argv0, arg, next(i)) * 1024);
         } else if (arg == "--no-check") {
             config.checkResult = false;
+        } else if (arg == "--max-events") {
+            policy.budget.maxEvents = parseUint(argv0, arg, next(i));
+        } else if (arg == "--wall-seconds") {
+            policy.budget.maxWallSeconds =
+                parseDouble(argv0, arg, next(i));
+        } else if (arg == "--stall-limit") {
+            policy.budget.stallDispatchLimit =
+                parseUint(argv0, arg, next(i));
+        } else if (arg == "--retries") {
+            const std::uint64_t n = parseUint(argv0, arg, next(i));
+            if (n < 1 || n > 100)
+                badFlag(argv0, "invalid --retries value '" +
+                                   std::to_string(n) +
+                                   "' (valid: 1..100)");
+            policy.maxAttempts = static_cast<int>(n);
+        } else if (arg == "--fault-plan") {
+            const char *spec = next(i);
+            try {
+                plan = fault::Plan::parse(spec);
+            } catch (const std::invalid_argument &e) {
+                badFlag(argv0, std::string("invalid --fault-plan: ") +
+                                   e.what());
+            }
         } else {
-            usage(argv0);
+            badFlag(argv0, "unknown option '" + arg + "'");
         }
     }
 
-    try {
-        const auto profile = core::runOne(config);
-        std::printf("app=%s machine=%s network=%s procs=%u\n",
-                    config.app.c_str(),
-                    mach::toString(config.machine).c_str(),
-                    net::toString(config.topology).c_str(), config.procs);
-        std::cout << profile;
-        std::printf("protocol: %llu read misses, %llu write misses, "
-                    "%llu upgrades, %llu invalidations, %llu writebacks\n",
-                    static_cast<unsigned long long>(
-                        profile.machine.readMisses),
-                    static_cast<unsigned long long>(
-                        profile.machine.writeMisses),
-                    static_cast<unsigned long long>(
-                        profile.machine.upgrades),
-                    static_cast<unsigned long long>(
-                        profile.machine.invalidations),
-                    static_cast<unsigned long long>(
-                        profile.machine.writebacks));
-        if (profile.remoteLatency.samples() > 0) {
-            std::printf(
-                "remote access time: mean %.2f us, ~p50 <= %.2f us, "
-                "~p99 <= %.2f us, max %.2f us (%llu samples)\n",
-                profile.remoteLatency.mean() / 1000.0,
-                profile.remoteLatency.approxQuantile(0.5) / 1000.0,
-                profile.remoteLatency.approxQuantile(0.99) / 1000.0,
-                profile.remoteLatency.max() / 1000.0,
-                static_cast<unsigned long long>(
-                    profile.remoteLatency.samples()));
-        }
-        const auto phases = profile.phaseSummary();
-        if (phases.size() > 1) {
-            std::printf("phases (summed over processors, us):\n");
-            for (const auto &phase : phases) {
-                std::printf("  %-12s busy %10.1f latency %10.1f "
-                            "contention %10.1f wait %10.1f\n",
-                            phase.name.c_str(), phase.busy / 1000.0,
-                            phase.latency / 1000.0,
-                            phase.contention / 1000.0,
-                            phase.wait / 1000.0);
-            }
-        }
-        std::printf("simulation: %.3f s wall, %llu events\n",
-                    profile.wallSeconds,
-                    static_cast<unsigned long long>(
-                        profile.engineEvents));
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
+    fault::ScopedPlan armed(plan); // Inert when the plan is empty.
+
+    const core::RunResult result = core::runOneSafe(config, policy);
+    if (!result.ok()) {
+        std::cerr << result.error() << "\n";
         return 1;
     }
+    const stats::Profile &profile = result.value();
+    std::printf("app=%s machine=%s network=%s procs=%u\n",
+                config.app.c_str(),
+                mach::toString(config.machine).c_str(),
+                net::toString(config.topology).c_str(), config.procs);
+    std::cout << profile;
+    std::printf("protocol: %llu read misses, %llu write misses, "
+                "%llu upgrades, %llu invalidations, %llu writebacks\n",
+                static_cast<unsigned long long>(
+                    profile.machine.readMisses),
+                static_cast<unsigned long long>(
+                    profile.machine.writeMisses),
+                static_cast<unsigned long long>(profile.machine.upgrades),
+                static_cast<unsigned long long>(
+                    profile.machine.invalidations),
+                static_cast<unsigned long long>(
+                    profile.machine.writebacks));
+    if (profile.remoteLatency.samples() > 0) {
+        std::printf(
+            "remote access time: mean %.2f us, ~p50 <= %.2f us, "
+            "~p99 <= %.2f us, max %.2f us (%llu samples)\n",
+            profile.remoteLatency.mean() / 1000.0,
+            profile.remoteLatency.approxQuantile(0.5) / 1000.0,
+            profile.remoteLatency.approxQuantile(0.99) / 1000.0,
+            profile.remoteLatency.max() / 1000.0,
+            static_cast<unsigned long long>(
+                profile.remoteLatency.samples()));
+    }
+    const auto phases = profile.phaseSummary();
+    if (phases.size() > 1) {
+        std::printf("phases (summed over processors, us):\n");
+        for (const auto &phase : phases) {
+            std::printf("  %-12s busy %10.1f latency %10.1f "
+                        "contention %10.1f wait %10.1f\n",
+                        phase.name.c_str(), phase.busy / 1000.0,
+                        phase.latency / 1000.0, phase.contention / 1000.0,
+                        phase.wait / 1000.0);
+        }
+    }
+    std::printf("simulation: %.3f s wall, %llu events\n",
+                profile.wallSeconds,
+                static_cast<unsigned long long>(profile.engineEvents));
     return 0;
 }

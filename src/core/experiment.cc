@@ -1,8 +1,10 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 
+#include "check/check.hh"
 #include "machines/logp_c_machine.hh"
 #include "machines/logp_machine.hh"
 #include "machines/target_machine.hh"
@@ -36,14 +38,14 @@ makeMachine(const RunConfig &config, sim::EventQueue &eq,
     throw std::invalid_argument("unsupported machine kind");
 }
 
-} // namespace
-
 stats::Profile
-runOne(const RunConfig &config)
+runOneImpl(const RunConfig &config, const sim::RunBudget *budget)
 {
     const auto wall_begin = std::chrono::steady_clock::now();
 
     sim::EventQueue eq;
+    if (budget != nullptr)
+        eq.setBudget(*budget);
     rt::SharedHeap heap(config.procs);
     auto machine = makeMachine(config, eq, heap);
     rt::Runtime runtime(eq, *machine, config.procs);
@@ -52,14 +54,101 @@ runOne(const RunConfig &config)
     app->setup(runtime, heap, config.params);
     runtime.spawn([&app](rt::Proc &p) { app->worker(p); });
     runtime.run();
-    if (config.checkResult)
-        app->check();
+    if (config.checkResult) {
+        try {
+            app->check();
+        } catch (const std::exception &e) {
+            // Tag validation failures so the safe driver can classify
+            // them apart from engine or invariant errors.
+            throw AppValidationError(e.what());
+        }
+    }
 
     stats::Profile profile = runtime.collect();
     const auto wall_end = std::chrono::steady_clock::now();
     profile.wallSeconds =
         std::chrono::duration<double>(wall_end - wall_begin).count();
     return profile;
+}
+
+/** First line of a (possibly multi-line) exception message; the
+ *  structured fields carry the rest. */
+std::string
+firstLine(const char *what)
+{
+    const std::string s(what);
+    const auto newline = s.find('\n');
+    return newline == std::string::npos ? s : s.substr(0, newline);
+}
+
+RunError
+watchdogError(RunErrorKind kind, const sim::WatchdogError &e, int attempt)
+{
+    RunError err;
+    err.kind = kind;
+    err.message = firstLine(e.what());
+    err.eventsDispatched = e.eventsDispatched();
+    err.simTime = e.simTime();
+    err.blockedFibers = e.blocked();
+    err.attempts = attempt;
+    return err;
+}
+
+RunError
+plainError(RunErrorKind kind, const char *what, int attempt)
+{
+    RunError err;
+    err.kind = kind;
+    err.message = what;
+    err.attempts = attempt;
+    return err;
+}
+
+} // namespace
+
+stats::Profile
+runOne(const RunConfig &config)
+{
+    return runOneImpl(config, nullptr);
+}
+
+RunResult
+runOneSafe(const RunConfig &config, const RunPolicy &policy)
+{
+    RunConfig attempt_config = config;
+    const int attempts = std::max(1, policy.maxAttempts);
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+        // Invariant failures must surface as exceptions, not aborts.
+        check::ScopedThrowOnFailure guard;
+        bool retryable = false;
+        RunError err;
+        try {
+            return runOneImpl(attempt_config, &policy.budget);
+        } catch (const sim::DeadlockError &e) {
+            err = watchdogError(RunErrorKind::Deadlock, e, attempt);
+        } catch (const sim::BudgetExceededError &e) {
+            err = watchdogError(RunErrorKind::BudgetExceeded, e, attempt);
+        } catch (const check::CheckFailure &e) {
+            err = plainError(RunErrorKind::CheckFailed, e.what(), attempt);
+            retryable = policy.retryCheckFailures;
+        } catch (const AppValidationError &e) {
+            err = plainError(RunErrorKind::AppValidationFailed, e.what(),
+                             attempt);
+            retryable = policy.retryAppValidation;
+        } catch (const std::exception &e) {
+            err = plainError(RunErrorKind::Panic, e.what(), attempt);
+        }
+        if (retryable && attempt < attempts) {
+            // Degrade gracefully: re-roll the workload RNG and re-run
+            // the point rather than losing the whole sweep to one
+            // (possibly transient) failed invariant.
+            attempt_config.params.seed += policy.seedPerturbation;
+            continue;
+        }
+        return err;
+    }
+    // Unreachable: the loop always returns.
+    return plainError(RunErrorKind::Panic, "retry loop fell through", 1);
 }
 
 } // namespace absim::core

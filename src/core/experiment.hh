@@ -4,14 +4,24 @@
  * combination end to end and return its SPASM profile.  This is the core
  * of the reproduction — the apparatus the paper uses to compare the
  * three machine characterizations.
+ *
+ * Two entry points exist.  runOne() is the raw driver: any failure
+ * (deadlock, budget, invariant, validation) escapes as an exception.
+ * runOneSafe() is the resilient driver sweeps use: it installs a run
+ * budget and the deadlock watchdog, classifies every failure into the
+ * RunError taxonomy, and applies a policy-driven retry (a CheckFailed
+ * point is re-run with a perturbed RNG seed) so one bad point degrades
+ * gracefully instead of aborting a 20-figure sweep.
  */
 
 #ifndef ABSIM_CORE_EXPERIMENT_HH
 #define ABSIM_CORE_EXPERIMENT_HH
 
+#include <stdexcept>
 #include <string>
 
 #include "apps/app.hh"
+#include "core/run_error.hh"
 #include "logp/gate.hh"
 #include "machines/machine.hh"
 #include "net/topology.hh"
@@ -34,13 +44,62 @@ struct RunConfig
     bool checkResult = true; ///< Validate numerics after the run.
 };
 
+/** Thrown by runOne() when the application's result check fails. */
+class AppValidationError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 /**
  * Build engine + heap + machine + runtime, run the application, validate
  * the result, and return its profile (with wall-clock cost filled in).
  *
- * @throws std::runtime_error if the application's check fails.
+ * @throws AppValidationError (a std::runtime_error) if the
+ *         application's check fails; whatever else the run raises.
  */
 stats::Profile runOne(const RunConfig &config);
+
+/** How runOneSafe() guards and retries a run. */
+struct RunPolicy
+{
+    /**
+     * Budget installed on the engine for every attempt.  The default
+     * enables only the deadlock watchdog: 10M dispatches without
+     * sim-time progress is far beyond anything a healthy simulation
+     * does (the clock normally advances every few hundred dispatches).
+     */
+    sim::RunBudget budget{/*maxEvents=*/0, /*maxSimTime=*/0,
+                          /*maxWallSeconds=*/0.0,
+                          /*stallDispatchLimit=*/10'000'000};
+
+    /** Total attempts (first run + retries). */
+    int maxAttempts = 2;
+
+    /** Retry CheckFailed runs with a perturbed workload seed. */
+    bool retryCheckFailures = true;
+
+    /** Also retry AppValidationFailed runs. */
+    bool retryAppValidation = false;
+
+    /** Added to params.seed on each retry (any nonzero value works;
+     *  this one is the 64-bit golden-ratio increment). */
+    std::uint64_t seedPerturbation = 0x9e3779b97f4a7c15ull;
+};
+
+using RunResult = Result<stats::Profile, RunError>;
+
+/**
+ * Resilient variant of runOne(): never throws for simulation-level
+ * failures.  Installs policy.budget on the engine, classifies failures
+ * into the RunError taxonomy (Deadlock, BudgetExceeded, CheckFailed,
+ * AppValidationFailed, Panic) and retries per policy.  ABSIM_CHECK
+ * failures are captured via a scoped throwing handler, so the
+ * invariant checkers degrade to a structured error instead of
+ * aborting the process.
+ */
+RunResult runOneSafe(const RunConfig &config,
+                     const RunPolicy &policy = {});
 
 } // namespace absim::core
 

@@ -1,7 +1,10 @@
 #include "core/figures.hh"
 
 #include <iomanip>
+#include <map>
 #include <ostream>
+
+#include "core/journal.hh"
 
 namespace absim::core {
 
@@ -69,6 +72,104 @@ sweepFigure(const std::string &title, const RunConfig &base,
     return figure;
 }
 
+SweepResult
+sweepFigureSafe(const std::string &title, const RunConfig &base,
+                net::TopologyKind topology, Metric metric,
+                const std::vector<std::uint32_t> &proc_counts,
+                const SweepOptions &options)
+{
+    SweepResult result;
+    result.figure.title = title;
+    result.figure.app = base.app;
+    result.figure.topology = topology;
+    result.figure.metric = metric;
+
+    // Resume: replay every point the journal already holds.
+    const JournalHeader header{title, base.app, net::toString(topology),
+                               toString(metric)};
+    std::map<std::uint32_t, SeriesPoint> done;
+    std::map<std::uint32_t, std::vector<FailedPoint>> failed;
+    if (!options.journalPath.empty()) {
+        std::vector<JournalRecord> records;
+        if (loadJournal(options.journalPath, header, records)) {
+            for (const JournalRecord &r : records) {
+                if (r.failed) {
+                    failed[r.procs].push_back(FailedPoint{
+                        r.procs, r.machine, r.error, r.message});
+                } else {
+                    done[r.procs] = SeriesPoint{r.procs, r.target,
+                                                r.logp, r.logpc};
+                }
+            }
+        } else {
+            startJournal(options.journalPath, header);
+        }
+    }
+
+    struct MachineRun
+    {
+        mach::MachineKind kind;
+        const char *name;
+        double SeriesPoint::*slot;
+    };
+    static constexpr MachineRun kMachines[] = {
+        {mach::MachineKind::Target, "target", &SeriesPoint::target},
+        {mach::MachineKind::LogP, "logp", &SeriesPoint::logp},
+        {mach::MachineKind::LogPC, "logp+c", &SeriesPoint::logpc},
+    };
+
+    for (const std::uint32_t p : proc_counts) {
+        if (const auto it = done.find(p); it != done.end()) {
+            result.figure.points.push_back(it->second);
+            continue;
+        }
+        if (const auto it = failed.find(p); it != failed.end()) {
+            // The journal says this point failed; keep the verdict
+            // (delete the journal to retry failed points).
+            result.failures.insert(result.failures.end(),
+                                   it->second.begin(), it->second.end());
+            continue;
+        }
+
+        SeriesPoint point;
+        point.procs = p;
+        RunConfig config = base;
+        config.topology = topology;
+        config.procs = p;
+
+        std::vector<FailedPoint> point_failures;
+        for (const MachineRun &m : kMachines) {
+            config.machine = m.kind;
+            RunResult run = runOneSafe(config, options.policy);
+            if (run.ok())
+                point.*(m.slot) = metricValue(run.value(), metric);
+            else
+                point_failures.push_back(
+                    FailedPoint{p, m.name, toString(run.error().kind),
+                                run.error().message});
+        }
+
+        if (point_failures.empty()) {
+            result.figure.points.push_back(point);
+            if (!options.journalPath.empty())
+                appendJournal(options.journalPath,
+                              JournalRecord{p, false, point.target,
+                                            point.logp, point.logpc,
+                                            "", "", ""});
+        } else {
+            for (const FailedPoint &f : point_failures) {
+                result.failures.push_back(f);
+                if (!options.journalPath.empty())
+                    appendJournal(options.journalPath,
+                                  JournalRecord{p, true, 0.0, 0.0, 0.0,
+                                                f.machine, f.error,
+                                                f.message});
+            }
+        }
+    }
+    return result;
+}
+
 void
 printFigure(std::ostream &os, const Figure &figure)
 {
@@ -96,6 +197,67 @@ writeFigureCsv(std::ostream &os, const Figure &figure)
     for (const SeriesPoint &pt : figure.points)
         os << pt.procs << ',' << pt.target << ',' << pt.logp << ','
            << pt.logpc << "\n";
+}
+
+namespace {
+
+void
+writeFigureMeta(std::ostream &os, const Figure &figure)
+{
+    os << "\"title\":\"" << jsonEscape(figure.title) << "\","
+       << "\"app\":\"" << jsonEscape(figure.app) << "\","
+       << "\"topology\":\"" << jsonEscape(net::toString(figure.topology))
+       << "\",\"metric\":\"" << jsonEscape(toString(figure.metric))
+       << "\"";
+}
+
+void
+writeFailureArray(std::ostream &os, const std::vector<FailedPoint> &failures)
+{
+    os << "\"failures\":[";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        const FailedPoint &f = failures[i];
+        os << (i != 0 ? ",\n    " : "\n    ")
+           << "{\"procs\":" << f.procs << ",\"machine\":\""
+           << jsonEscape(f.machine) << "\",\"error\":\""
+           << jsonEscape(f.error) << "\",\"message\":\""
+           << jsonEscape(f.message) << "\"}";
+    }
+    os << (failures.empty() ? "]" : "\n  ]");
+}
+
+} // namespace
+
+void
+writeFigureJson(std::ostream &os, const SweepResult &result)
+{
+    const Figure &figure = result.figure;
+    os << "{\n  ";
+    writeFigureMeta(os, figure);
+    os << ",\n  \"complete\":" << (result.complete() ? "true" : "false");
+    os << ",\n  \"points\":[";
+    for (std::size_t i = 0; i < figure.points.size(); ++i) {
+        const SeriesPoint &pt = figure.points[i];
+        os << (i != 0 ? ",\n    " : "\n    ")
+           << "{\"procs\":" << pt.procs
+           << ",\"target\":" << formatDouble(pt.target)
+           << ",\"logp\":" << formatDouble(pt.logp)
+           << ",\"logpc\":" << formatDouble(pt.logpc) << "}";
+    }
+    os << (figure.points.empty() ? "]" : "\n  ]") << ",\n  ";
+    writeFailureArray(os, result.failures);
+    os << "\n}\n";
+}
+
+void
+writeFailureManifest(std::ostream &os, const Figure &figure,
+                     const std::vector<FailedPoint> &failures)
+{
+    os << "{\n  ";
+    writeFigureMeta(os, figure);
+    os << ",\n  ";
+    writeFailureArray(os, failures);
+    os << "\n}\n";
 }
 
 } // namespace absim::core

@@ -57,17 +57,76 @@ double metricValue(const stats::Profile &profile, Metric metric);
 /**
  * Run the sweep for one figure: the three machines at each P.
  *
+ * The raw sweep: any failed point aborts the whole figure by
+ * exception.  Prefer sweepFigureSafe() for anything long-running.
+ *
  * @param base  App/params template; machine, topology and P are overridden.
  */
 Figure sweepFigure(const std::string &title, const RunConfig &base,
                    net::TopologyKind topology, Metric metric,
                    const std::vector<std::uint32_t> &proc_counts);
 
+/** One point (or machine run) the resilient sweep could not produce. */
+struct FailedPoint
+{
+    std::uint32_t procs = 0;
+    std::string machine; ///< "target", "logp" or "logp+c".
+    std::string error;   ///< RunErrorKind name.
+    std::string message; ///< One-line summary.
+};
+
+/** Outcome of a resilient sweep: the completed curve + what failed. */
+struct SweepResult
+{
+    Figure figure;
+    std::vector<FailedPoint> failures;
+
+    bool complete() const { return failures.empty(); }
+};
+
+/** Knobs of the resilient sweep. */
+struct SweepOptions
+{
+    /** Budget/retry policy applied to every point (see RunPolicy). */
+    RunPolicy policy;
+
+    /**
+     * Checkpoint journal path; "" disables checkpointing.  Completed
+     * points (successes and failures) are appended after each point
+     * and skipped on re-run, so an interrupted sweep resumes instead
+     * of starting over (see core/journal.hh for the format and the
+     * byte-identical-resume guarantee).
+     */
+    std::string journalPath;
+};
+
+/**
+ * Resilient sweep: like sweepFigure(), but each point runs under
+ * runOneSafe().  A failed point is recorded in the failure manifest
+ * and the sweep continues; with a journal path set, completed points
+ * checkpoint to disk and re-runs resume from the journal.
+ */
+SweepResult sweepFigureSafe(const std::string &title, const RunConfig &base,
+                            net::TopologyKind topology, Metric metric,
+                            const std::vector<std::uint32_t> &proc_counts,
+                            const SweepOptions &options = {});
+
 /** Print the figure in the benches' common tabular format. */
 void printFigure(std::ostream &os, const Figure &figure);
 
 /** Write the figure as CSV (procs,target,logp,logpc with a header). */
 void writeFigureCsv(std::ostream &os, const Figure &figure);
+
+/**
+ * Write figure + failures as one JSON document.  Deterministic: a
+ * sweep resumed from its journal emits byte-identical output to an
+ * uninterrupted run.
+ */
+void writeFigureJson(std::ostream &os, const SweepResult &result);
+
+/** Write just the failure manifest as a JSON document. */
+void writeFailureManifest(std::ostream &os, const Figure &figure,
+                          const std::vector<FailedPoint> &failures);
 
 } // namespace absim::core
 

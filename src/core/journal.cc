@@ -1,0 +1,260 @@
+#include "core/journal.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace absim::core {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonUnescape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 >= s.size()) {
+            out += s[i];
+            continue;
+        }
+        switch (s[++i]) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'u':
+            if (i + 4 < s.size()) {
+                out += static_cast<char>(
+                    std::stoul(s.substr(i + 1, 4), nullptr, 16));
+                i += 4;
+            }
+            break;
+          default:
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+namespace {
+
+/**
+ * Pull the value of @p key out of a flat JSON object line emitted by
+ * this module.  Returns false if the key is absent.  String values are
+ * returned unescaped; numeric values as their raw token.
+ */
+bool
+extractField(const std::string &line, const std::string &key,
+             std::string &value, bool &was_string)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    std::size_t i = pos + needle.size();
+    if (i >= line.size())
+        return false;
+    if (line[i] == '"') {
+        // String value: scan to the closing unescaped quote.
+        std::string raw;
+        for (++i; i < line.size(); ++i) {
+            if (line[i] == '\\' && i + 1 < line.size()) {
+                raw += line[i];
+                raw += line[i + 1];
+                ++i;
+            } else if (line[i] == '"') {
+                value = jsonUnescape(raw);
+                was_string = true;
+                return true;
+            } else {
+                raw += line[i];
+            }
+        }
+        return false; // Unterminated string: torn line.
+    }
+    // Numeric (or bare) token: scan to the delimiter.
+    const auto end = line.find_first_of(",}", i);
+    if (end == std::string::npos)
+        return false;
+    value = line.substr(i, end - i);
+    was_string = false;
+    return !value.empty();
+}
+
+bool
+extractString(const std::string &line, const std::string &key,
+              std::string &value)
+{
+    bool was_string = false;
+    return extractField(line, key, value, was_string) && was_string;
+}
+
+bool
+extractDouble(const std::string &line, const std::string &key,
+              double &value)
+{
+    std::string token;
+    bool was_string = false;
+    if (!extractField(line, key, token, was_string) || was_string)
+        return false;
+    char *end = nullptr;
+    value = std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+bool
+extractUint(const std::string &line, const std::string &key,
+            std::uint64_t &value)
+{
+    std::string token;
+    bool was_string = false;
+    if (!extractField(line, key, token, was_string) || was_string)
+        return false;
+    char *end = nullptr;
+    value = std::strtoull(token.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+std::string
+encodeHeader(const JournalHeader &header)
+{
+    return "{\"absim_journal\":1,\"title\":\"" + jsonEscape(header.title) +
+           "\",\"app\":\"" + jsonEscape(header.app) +
+           "\",\"topology\":\"" + jsonEscape(header.topology) +
+           "\",\"metric\":\"" + jsonEscape(header.metric) + "\"}";
+}
+
+} // namespace
+
+std::string
+encodeRecord(const JournalRecord &record)
+{
+    std::string out = "{\"procs\":" + std::to_string(record.procs);
+    if (record.failed) {
+        out += ",\"machine\":\"" + jsonEscape(record.machine) +
+               "\",\"error\":\"" + jsonEscape(record.error) +
+               "\",\"message\":\"" + jsonEscape(record.message) + "\"";
+    } else {
+        out += ",\"target\":" + formatDouble(record.target) +
+               ",\"logp\":" + formatDouble(record.logp) +
+               ",\"logpc\":" + formatDouble(record.logpc);
+    }
+    return out + "}";
+}
+
+bool
+decodeRecord(const std::string &line, JournalRecord &out)
+{
+    if (line.empty() || line.front() != '{' || line.back() != '}')
+        return false;
+    std::uint64_t procs = 0;
+    if (!extractUint(line, "procs", procs))
+        return false;
+    out = JournalRecord{};
+    out.procs = static_cast<std::uint32_t>(procs);
+    if (extractString(line, "error", out.error)) {
+        out.failed = true;
+        return extractString(line, "machine", out.machine) &&
+               extractString(line, "message", out.message);
+    }
+    return extractDouble(line, "target", out.target) &&
+           extractDouble(line, "logp", out.logp) &&
+           extractDouble(line, "logpc", out.logpc);
+}
+
+bool
+loadJournal(const std::string &path, const JournalHeader &expect,
+            std::vector<JournalRecord> &out)
+{
+    out.clear();
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    JournalHeader found;
+    if (line.find("\"absim_journal\":1") == std::string::npos ||
+        !extractString(line, "title", found.title) ||
+        !extractString(line, "app", found.app) ||
+        !extractString(line, "topology", found.topology) ||
+        !extractString(line, "metric", found.metric) ||
+        !(found == expect))
+        return false;
+    while (std::getline(in, line)) {
+        JournalRecord record;
+        if (!decodeRecord(line, record))
+            break; // Torn trailing write: drop it and everything after.
+        out.push_back(std::move(record));
+    }
+    return true;
+}
+
+void
+startJournal(const std::string &path, const JournalHeader &header)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << encodeHeader(header) << "\n" << std::flush;
+}
+
+void
+appendJournal(const std::string &path, const JournalRecord &record)
+{
+    std::ofstream out(path, std::ios::app);
+    out << encodeRecord(record) << "\n" << std::flush;
+}
+
+} // namespace absim::core

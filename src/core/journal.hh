@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Sweep checkpoint journal: crash-safe JSONL persistence for figure
+ * sweeps.
+ *
+ * Each figure sweep appends one JSON line per finished point (success
+ * or failure) to a journal file, flushing after every record.  When a
+ * figure binary is re-run — after a crash, a SIGKILL between points,
+ * or an interactive interrupt — the sweep reloads the journal, skips
+ * every point already recorded, and completes only the remainder.
+ * Because the simulator is deterministic and doubles round-trip
+ * through "%.17g", a resumed sweep produces byte-identical final JSON
+ * to an uninterrupted one.
+ *
+ * File format (one JSON object per line):
+ *
+ *   {"absim_journal":1,"title":...,"app":...,"topology":...,"metric":...}
+ *   {"procs":8,"target":1.25e+03,"logp":...,"logpc":...}
+ *   {"procs":16,"machine":"logp","error":"Deadlock","message":"..."}
+ *
+ * The first line identifies the sweep; a journal whose header does not
+ * match the running sweep is ignored and rewritten (it belongs to a
+ * different figure or an older layout).  A torn trailing line (the
+ * process died mid-write) is discarded along with anything after it.
+ * The parser handles exactly what the encoder emits — flat objects of
+ * string and number fields — not general JSON.
+ */
+
+#ifndef ABSIM_CORE_JOURNAL_HH
+#define ABSIM_CORE_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace absim::core {
+
+/** Identity of the sweep a journal belongs to. */
+struct JournalHeader
+{
+    std::string title;
+    std::string app;
+    std::string topology;
+    std::string metric;
+
+    bool operator==(const JournalHeader &other) const = default;
+};
+
+/** One journaled point: either three machine values or one failure. */
+struct JournalRecord
+{
+    std::uint32_t procs = 0;
+
+    bool failed = false;
+
+    /** Success payload (failed == false). */
+    double target = 0.0;
+    double logp = 0.0;
+    double logpc = 0.0;
+
+    /** Failure payload (failed == true). */
+    std::string machine; ///< Which machine's run failed.
+    std::string error;   ///< RunErrorKind name.
+    std::string message; ///< One-line failure summary.
+};
+
+/** JSON-escape a string (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &s);
+
+/** Inverse of jsonEscape (\uXXXX limited to latin-1 code points). */
+std::string jsonUnescape(const std::string &s);
+
+/** Format a double so it round-trips exactly ("%.17g"). */
+std::string formatDouble(double value);
+
+/** Render one record as its journal line (no trailing newline). */
+std::string encodeRecord(const JournalRecord &record);
+
+/**
+ * Parse one journal line.
+ * @return false if the line is malformed (e.g. torn by a crash).
+ */
+bool decodeRecord(const std::string &line, JournalRecord &out);
+
+/**
+ * Load a journal.
+ *
+ * @return true and the usable records if @p path exists and its header
+ *         matches @p expect; false (and no records) otherwise.
+ *         Parsing stops at the first malformed line.
+ */
+bool loadJournal(const std::string &path, const JournalHeader &expect,
+                 std::vector<JournalRecord> &out);
+
+/** Create/truncate the journal and write its header line. */
+void startJournal(const std::string &path, const JournalHeader &header);
+
+/** Append one record and flush (the checkpoint write). */
+void appendJournal(const std::string &path, const JournalRecord &record);
+
+} // namespace absim::core
+
+#endif // ABSIM_CORE_JOURNAL_HH

@@ -1,0 +1,51 @@
+#include "core/run_error.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace absim::core {
+
+std::string
+toString(RunErrorKind kind)
+{
+    switch (kind) {
+      case RunErrorKind::Deadlock:
+        return "Deadlock";
+      case RunErrorKind::BudgetExceeded:
+        return "BudgetExceeded";
+      case RunErrorKind::CheckFailed:
+        return "CheckFailed";
+      case RunErrorKind::AppValidationFailed:
+        return "AppValidationFailed";
+      case RunErrorKind::Panic:
+        return "Panic";
+    }
+    return "?";
+}
+
+std::string
+RunError::summary() const
+{
+    // Keep it one line: the journal and the failure manifest embed it.
+    const auto newline = message.find('\n');
+    return toString(kind) + ": " +
+           (newline == std::string::npos ? message
+                                         : message.substr(0, newline));
+}
+
+std::ostream &
+operator<<(std::ostream &os, const RunError &error)
+{
+    os << "run failed: " << toString(error.kind);
+    if (error.attempts > 1)
+        os << " (after " << error.attempts << " attempts)";
+    os << "\n  " << error.message << "\n";
+    if (error.eventsDispatched > 0 || error.simTime > 0)
+        os << "  engine: " << error.eventsDispatched
+           << " events dispatched, sim time " << error.simTime << " ns\n";
+    if (!error.blockedFibers.empty())
+        os << "  " << sim::formatBlockedDump(error.blockedFibers) << "\n";
+    return os;
+}
+
+} // namespace absim::core

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Deterministic fault injection (chaos layer) for the simulator.
+ *
+ * Echoing how Partition Consistency (Cheng et al., 2013) validates a
+ * model by driving it through adversarial schedules, this layer
+ * deliberately wedges and corrupts the simulator so that tests can
+ * prove the robustness machinery — watchdogs, budgets, invariant
+ * checkers, retry — actually fires.  Four chaos hooks exist:
+ *
+ *  - WedgeFiber        suspend processor N's fiber forever at its K-th
+ *                      shared access (a lost wake-up / stuck worker);
+ *  - CorruptTransition flip one cached line's coherence state behind
+ *                      the directory's back at the K-th access (a buggy
+ *                      protocol transition);
+ *  - DropOverhead      zero the latency/contention charge of the next
+ *                      networked access after the K-th (lost
+ *                      accounting, breaks overhead conservation);
+ *  - StallQueue        from dispatch K, feed the engine a
+ *                      self-perpetuating chain of zero-delay events so
+ *                      simulated time stops advancing (livelock).
+ *
+ * The layer is compiled in but inert by default: the per-access /
+ * per-dispatch hooks are a single inline boolean test until a plan is
+ * armed.  Plans are fully deterministic (trigger counts + a seed that
+ * picks corruption targets), so every chaos run is reproducible.
+ *
+ * Plan syntax (see docs/ROBUSTNESS.md):
+ *
+ *     "wedge@120:node=2; corrupt@80; drop@40; stall@500; seed=7"
+ */
+
+#ifndef ABSIM_FAULT_FAULT_HH
+#define ABSIM_FAULT_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace absim::fault {
+
+/** The chaos hooks. */
+enum class Kind : std::uint8_t
+{
+    WedgeFiber,
+    CorruptTransition,
+    DropOverhead,
+    StallQueue,
+};
+
+std::string toString(Kind kind);
+
+/** One planned fault. */
+struct Spec
+{
+    Kind kind = Kind::WedgeFiber;
+
+    /**
+     * 1-based trigger count: for WedgeFiber the target node's N-th
+     * shared access; for CorruptTransition / DropOverhead the N-th
+     * shared access overall; for StallQueue the N-th engine dispatch.
+     */
+    std::uint64_t at = 1;
+
+    /** Target processor (WedgeFiber only). */
+    std::uint32_t node = 0;
+};
+
+/** A deterministic, seeded set of faults to inject into one run. */
+struct Plan
+{
+    std::vector<Spec> faults;
+
+    /** Picks corruption targets; also reproducibility documentation. */
+    std::uint64_t seed = 1;
+
+    bool empty() const { return faults.empty(); }
+
+    /**
+     * Parse the textual syntax above ("kind@count[:node=N]" elements
+     * plus an optional "seed=S", separated by ';').
+     * @throws std::invalid_argument on malformed input.
+     */
+    static Plan parse(const std::string &text);
+
+    /** Render back to the parseable syntax. */
+    std::string toString() const;
+};
+
+/** Faults an access site must apply (returned by Injector::onAccess). */
+struct AccessFault
+{
+    bool wedge = false;
+    bool corrupt = false;
+};
+
+namespace detail {
+/** Fast inert-path flag; written only by Injector::arm()/disarm(). */
+inline bool g_armed = false;
+} // namespace detail
+
+/** True if a fault plan is armed (the only cost on the inert path). */
+inline bool
+armed()
+{
+    return detail::g_armed;
+}
+
+/**
+ * The process-wide fault injector.  Simulation hot paths consult it
+ * only when armed(); tests arm a Plan via ScopedPlan.
+ */
+class Injector
+{
+  public:
+    void arm(const Plan &plan);
+    void disarm();
+
+    std::uint64_t seed() const { return plan_.seed; }
+
+    /**
+     * Per-shared-access hook (called by rt::Proc::access).  Counts the
+     * access and reports which faults trigger now.  Each spec fires at
+     * most once per arm().
+     */
+    AccessFault onAccess(std::uint32_t node);
+
+    /**
+     * Consume a pending DropOverhead fault.  Called after a *networked*
+     * access completes; returns true exactly once, when the drop that
+     * onAccess() armed should be applied.
+     */
+    bool consumeDropOverhead();
+
+    /**
+     * Per-dispatch hook (called by sim::EventQueue).  Returns true
+     * exactly once, when a StallQueue fault should start the
+     * zero-delay event chain.
+     */
+    bool shouldStallQueue(std::uint64_t dispatched);
+
+    /** How many times faults of @p kind have fired since arm(). */
+    std::uint64_t fired(Kind kind) const
+    {
+        return fired_[static_cast<std::size_t>(kind)];
+    }
+
+  private:
+    void recordFired(Kind kind)
+    {
+        ++fired_[static_cast<std::size_t>(kind)];
+    }
+
+    Plan plan_;
+    std::vector<bool> specDone_;
+    std::vector<std::uint64_t> nodeAccesses_;
+    std::uint64_t totalAccesses_ = 0;
+    bool dropArmed_ = false;
+    std::array<std::uint64_t, 4> fired_{};
+};
+
+/** The global injector consulted by the simulation hooks. */
+Injector &injector();
+
+/** RAII: arm a plan for the current scope (tests). */
+class ScopedPlan
+{
+  public:
+    explicit ScopedPlan(const Plan &plan) { injector().arm(plan); }
+    ~ScopedPlan() { injector().disarm(); }
+
+    ScopedPlan(const ScopedPlan &) = delete;
+    ScopedPlan &operator=(const ScopedPlan &) = delete;
+};
+
+} // namespace absim::fault
+
+#endif // ABSIM_FAULT_FAULT_HH

@@ -172,6 +172,22 @@ class Machine
      */
     virtual void checkInvariants() const {}
 
+    /**
+     * Fault-injection hook (fault::Kind::CorruptTransition): corrupt
+     * one piece of protocol state deterministically (@p seed picks the
+     * target), as a buggy transition would, so the invariant checkers
+     * must catch it.  Never called by simulation code — only by the
+     * fault injector when a plan is armed.
+     *
+     * @return true if state was corrupted (false: the machine keeps no
+     *         corruptible protocol state).
+     */
+    virtual bool corruptStateForFault(std::uint64_t seed)
+    {
+        (void)seed;
+        return false;
+    }
+
     const MachineStats &stats() const { return stats_; }
 
     std::uint32_t nodes() const { return nodes_; }

@@ -334,4 +334,28 @@ TargetMachine::invalidateSharers(NodeId node, BlockId blk,
     t.contention += elapsed - critical_latency;
 }
 
+bool
+TargetMachine::corruptStateForFault(std::uint64_t seed)
+{
+    // Deterministically pick a resident line (the seed rotates the
+    // starting node and indexes into its lines) and flip its state
+    // without updating the directory — exactly the inconsistency a
+    // buggy protocol transition would leave behind.
+    for (std::uint32_t i = 0; i < nodes_; ++i) {
+        const NodeId n = static_cast<NodeId>((seed + i) % nodes_);
+        const auto lines = caches_[n]->residentLines();
+        if (lines.empty())
+            continue;
+        const auto [blk, state] = lines[seed % lines.size()];
+        caches_[n]->setState(blk, state == LineState::Valid
+                                      ? LineState::Dirty
+                                      : LineState::Valid);
+        // The corrupted transition must be caught right here, the same
+        // way every real transition is checked at its boundary.
+        checker_.checkBlock(blk);
+        return true;
+    }
+    return false;
+}
+
 } // namespace absim::mach

@@ -51,6 +51,13 @@ class TargetMachine : public Machine
     /** Full SWMR + directory-agreement sweep over every tracked block. */
     void checkInvariants() const override { checker_.checkAll(); }
 
+    /**
+     * Chaos hook: flip one resident line's coherence state behind the
+     * directory's back (seed picks the line), then re-check the block
+     * so the corruption is caught at the very transition it models.
+     */
+    bool corruptStateForFault(std::uint64_t seed) override;
+
     const net::DetailedNetwork &network() const { return *net_; }
     ProtocolKind protocol() const { return protocol_; }
     const mem::SetAssocCache &cache(net::NodeId n) const

@@ -1,6 +1,7 @@
 #include "msg/msg_world.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "check/check.hh"
 
@@ -77,7 +78,8 @@ MsgWorld::recv(rt::Proc &p, net::NodeId src, Tag tag)
         ABSIM_CHECK(channel.waiter == nullptr,
                     "two receivers blocked on the same channel");
         channel.waiter = &p;
-        p.process()->suspend();
+        p.process()->suspend("msg receive (src=" + std::to_string(src) +
+                             " tag=" + std::to_string(tag) + ")");
         ABSIM_CHECK(!channel.ready.empty(),
                     "receiver woke with no message delivered");
     }

@@ -1,10 +1,13 @@
 #include "runtime/context.hh"
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 
 #include "check/check.hh"
+#include "fault/fault.hh"
 #include "mem/addr.hh"
+#include "sim/watchdog.hh"
 
 namespace absim::rt {
 
@@ -60,14 +63,28 @@ Proc::access(mem::Addr addr, mach::AccessType type, std::uint32_t bytes)
                  "access of " << bytes << " bytes exceeds a cache block");
     ABSIM_DCHECK(mem::blockOf(addr) == mem::blockOf(addr + bytes - 1),
                  "access at " << addr << " straddles cache blocks");
+    if (fault::armed()) [[unlikely]] {
+        const fault::AccessFault af = fault::injector().onAccess(id_);
+        if (af.wedge)
+            process_->suspend("fault-plan: wedged fiber (never woken)");
+        if (af.corrupt)
+            rt_.machine().corruptStateForFault(fault::injector().seed());
+    }
     maybeYield();
     ABSIM_DCHECK(localTime_ >= rt_.engine().now(),
                  "processor " << id_ << " issued an access with its local "
                               << "clock behind the engine");
     const sim::Tick began = localTime_;
     syncedThisAccess_ = false;
-    const mach::AccessTiming t =
-        rt_.machine().access(*this, addr, type, bytes);
+    mach::AccessTiming t = rt_.machine().access(*this, addr, type, bytes);
+    if (fault::armed() && t.networked &&
+        fault::injector().consumeDropOverhead()) [[unlikely]] {
+        // Fault injection (DropOverhead): lose the overhead charge of
+        // this networked access; the conservation checker below must
+        // catch the now-unaccounted engine time.
+        t.latency = 0;
+        t.contention = 0;
+    }
     // Overhead conservation: a machine that blocked must charge exactly
     // the elapsed engine time as latency + contention, and one that did
     // not block may charge neither.
@@ -193,6 +210,11 @@ Runtime::spawn(std::function<void(Proc &)> body)
                 } catch (...) {
                     if (!workerError_)
                         workerError_ = std::current_exception();
+                    // The dead worker's peers would spin at a barrier
+                    // nobody will reach — in simulated time, so not
+                    // even the stall watchdog trips.  Halt the engine;
+                    // run() rethrows the root cause.
+                    eq_.requestStop();
                 }
                 proc->recordFinish();
             }));
@@ -204,12 +226,33 @@ Runtime::spawn(std::function<void(Proc &)> body)
 void
 Runtime::run()
 {
-    eq_.run();
+    try {
+        eq_.run();
+    } catch (...) {
+        // A watchdog may fire *because* a worker already died (its
+        // peers spin at a barrier nobody will reach, until a budget
+        // trips).  The worker's exception is the root cause; prefer it.
+        if (workerError_)
+            std::rethrow_exception(workerError_);
+        throw;
+    }
     if (workerError_)
         std::rethrow_exception(workerError_);
+    // The queue drained; every worker must have finished.  Unfinished
+    // workers mean the simulation deadlocked (all remaining fibers are
+    // blocked with nobody left to wake them): report which, and on
+    // what, instead of tripping an opaque assertion.
+    std::size_t unfinished = 0;
     for (const auto &p : processes_)
-        ABSIM_CHECK(p->finished(), "worker \"" << p->name()
-                                       << "\" is still blocked at drain");
+        if (!p->finished())
+            ++unfinished;
+    if (unfinished > 0) {
+        std::ostringstream oss;
+        oss << "deadlock: event queue drained with " << unfinished
+            << " of " << processes_.size() << " workers still blocked";
+        throw sim::DeadlockError(oss.str(), eq_.dispatched(), eq_.now(),
+                                 eq_.blockedProcesses());
+    }
     // The caches and directory must be mutually consistent once the
     // simulation has drained (full sweep; per-transaction checks ran
     // incrementally during the run).

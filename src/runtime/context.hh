@@ -163,6 +163,10 @@ class Runtime
      * Run the simulation to completion.
      * @throws whatever a worker threw (captured on the worker's fiber,
      *         rethrown here on the scheduler stack).
+     * @throws sim::DeadlockError if the queue drains with workers
+     *         still blocked (with a dump of what each waits on).
+     * @throws sim::BudgetExceededError / sim::DeadlockError from the
+     *         engine if a RunBudget installed on it trips.
      */
     void run();
 

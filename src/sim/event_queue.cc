@@ -1,18 +1,98 @@
 #include "sim/event_queue.hh"
 
-#include <stdexcept>
+#include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "check/check.hh"
+#include "fault/fault.hh"
+#include "sim/process.hh"
 
 namespace absim::sim {
 
 void
-EventQueue::checkCap() const
+EventQueue::setBudget(const RunBudget &budget)
 {
-    if (eventCap_ != 0 && dispatched_ >= eventCap_)
-        throw std::runtime_error(
-            "simulation exceeded its event cap (livelock?)");
+    budget_ = budget;
+    lastProgressDispatch_ = dispatched_;
+    wallArmed_ = false;
+}
+
+void
+EventQueue::unregisterProcess(Process *p)
+{
+    const auto it = std::find(processes_.begin(), processes_.end(), p);
+    if (it != processes_.end())
+        processes_.erase(it);
+}
+
+std::vector<BlockedProcessInfo>
+EventQueue::blockedProcesses() const
+{
+    std::vector<BlockedProcessInfo> out;
+    for (const Process *p : processes_) {
+        if (p->finished())
+            continue;
+        BlockedProcessInfo info;
+        info.name = p->name();
+        info.state = toString(p->state());
+        info.waitReason = p->waitReason();
+        if (p->state() == ProcState::Delayed)
+            info.delayedUntil = p->delayedUntil();
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
+void
+EventQueue::enforceBudget()
+{
+    if (budget_.maxEvents != 0 && dispatched_ >= budget_.maxEvents) {
+        std::ostringstream oss;
+        oss << "event budget exceeded: " << dispatched_ << " events "
+            << "dispatched (limit " << budget_.maxEvents
+            << "); runaway or livelocked simulation?";
+        throw BudgetExceededError(oss.str(), dispatched_, now_,
+                                  blockedProcesses());
+    }
+    if (budget_.stallDispatchLimit != 0 &&
+        dispatched_ - lastProgressDispatch_ >=
+            budget_.stallDispatchLimit) {
+        std::ostringstream oss;
+        oss << "deadlock watchdog: no sim-time progress for "
+            << dispatched_ - lastProgressDispatch_
+            << " dispatches (limit " << budget_.stallDispatchLimit
+            << "); the clock is stuck at " << now_ << " ns";
+        throw DeadlockError(oss.str(), dispatched_, now_,
+                            blockedProcesses());
+    }
+    if (budget_.maxWallSeconds > 0.0 && (dispatched_ & 0x3ff) == 0) {
+        const auto host_now = std::chrono::steady_clock::now();
+        if (!wallArmed_) {
+            wallArmed_ = true;
+            wallDeadline_ =
+                host_now + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(
+                                   budget_.maxWallSeconds));
+        } else if (host_now >= wallDeadline_) {
+            std::ostringstream oss;
+            oss << "wall-clock budget exceeded: run passed "
+                << budget_.maxWallSeconds << " s of host time after "
+                << dispatched_ << " events";
+            throw BudgetExceededError(oss.str(), dispatched_, now_,
+                                      blockedProcesses());
+        }
+    }
+}
+
+void
+EventQueue::stallStep()
+{
+    // Fault injection (StallQueue): a self-perpetuating zero-delay
+    // event.  Simulated time stops advancing, which the stall watchdog
+    // must detect.
+    schedule(now_, [this] { stallStep(); });
 }
 
 void
@@ -28,8 +108,8 @@ EventQueue::schedule(Tick when, Callback cb)
 void
 EventQueue::run()
 {
-    while (!queue_.empty()) {
-        checkCap();
+    while (!queue_.empty() && !stopRequested_) {
+        enforceBudget();
         // priority_queue::top() returns a const ref; the callback must be
         // moved out before pop, so copy the cheap fields and steal the
         // std::function via const_cast (safe: the element is removed
@@ -39,10 +119,23 @@ EventQueue::run()
             ABSIM_CHECK(top.when >= now_,
                         "engine clock would run backwards: now=" << now_
                             << " next event at " << top.when);
+        if (budget_.maxSimTime != 0 && top.when > budget_.maxSimTime) {
+            std::ostringstream oss;
+            oss << "sim-time budget exceeded: next event at " << top.when
+                << " ns passes the " << budget_.maxSimTime
+                << " ns limit";
+            throw BudgetExceededError(oss.str(), dispatched_, now_,
+                                      blockedProcesses());
+        }
+        if (top.when > now_)
+            lastProgressDispatch_ = dispatched_;
         now_ = top.when;
         Callback cb = std::move(top.cb);
         queue_.pop();
         ++dispatched_;
+        if (fault::armed() && fault::injector().shouldStallQueue(
+                                  dispatched_)) [[unlikely]]
+            stallStep();
         cb();
     }
 }
@@ -50,8 +143,8 @@ EventQueue::run()
 bool
 EventQueue::runUntil(Tick limit)
 {
-    while (!queue_.empty()) {
-        checkCap();
+    while (!queue_.empty() && !stopRequested_) {
+        enforceBudget();
         if (queue_.top().when > limit)
             return false;
         auto &top = const_cast<Event &>(queue_.top());
@@ -59,13 +152,18 @@ EventQueue::runUntil(Tick limit)
             ABSIM_CHECK(top.when >= now_,
                         "engine clock would run backwards: now=" << now_
                             << " next event at " << top.when);
+        if (top.when > now_)
+            lastProgressDispatch_ = dispatched_;
         now_ = top.when;
         Callback cb = std::move(top.cb);
         queue_.pop();
         ++dispatched_;
+        if (fault::armed() && fault::injector().shouldStallQueue(
+                                  dispatched_)) [[unlikely]]
+            stallStep();
         cb();
     }
-    return true;
+    return queue_.empty();
 }
 
 Tick

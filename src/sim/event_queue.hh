@@ -6,19 +6,28 @@
  * queue of (tick, sequence, callback) events.  Two events scheduled for the
  * same tick fire in scheduling order, which makes every simulation run
  * bit-for-bit reproducible.
+ *
+ * The engine also hosts the run watchdog: a RunBudget bounds events,
+ * simulated time, wall-clock time and clock stalls, and every Process
+ * registers itself so the watchdog can dump what each blocked process
+ * waits on when a budget trips (see sim/watchdog.hh).
  */
 
 #ifndef ABSIM_SIM_EVENT_QUEUE_HH
 #define ABSIM_SIM_EVENT_QUEUE_HH
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
 #include "sim/types.hh"
+#include "sim/watchdog.hh"
 
 namespace absim::sim {
+
+class Process;
 
 /**
  * A deterministic discrete-event simulation engine.
@@ -50,7 +59,10 @@ class EventQueue
         schedule(now_ + delay, std::move(cb));
     }
 
-    /** Run events until the queue is empty. */
+    /**
+     * Run events until the queue is empty.
+     * @throws BudgetExceededError / DeadlockError if the budget trips.
+     */
     void run();
 
     /**
@@ -74,12 +86,48 @@ class EventQueue
     std::uint64_t dispatched() const { return dispatched_; }
 
     /**
-     * Install a runaway guard: run()/runUntil() throw std::runtime_error
-     * once this many events have been dispatched.  0 disables (default).
-     * Livelocked simulations (e.g. an application spinning on a flag
-     * that is never set) otherwise run forever.
+     * Install a run budget; run()/runUntil() raise BudgetExceededError
+     * or DeadlockError (stall limit) once a limit trips.  The wall
+     * clock starts at the first dispatch after the budget is set.
      */
-    void setEventCap(std::uint64_t cap) { eventCap_ = cap; }
+    void setBudget(const RunBudget &budget);
+
+    const RunBudget &budget() const { return budget_; }
+
+    /**
+     * Legacy runaway guard: equivalent to a budget with only maxEvents
+     * set.  The violation surfaces as a structured BudgetExceededError
+     * (which derives from std::runtime_error).  0 disables.
+     */
+    void setEventCap(std::uint64_t cap) { budget_.maxEvents = cap; }
+
+    /**
+     * Stop dispatching at the next event boundary; run()/runUntil()
+     * return with the queue still populated.  Used by the runtime when
+     * a worker dies mid-run: its peers would otherwise spin in
+     * simulated time until a budget trips (or forever, with no budget
+     * armed).  Sticky for the lifetime of the engine.
+     */
+    void requestStop() { stopRequested_ = true; }
+
+    bool stopRequested() const { return stopRequested_; }
+
+    /** @name Process registry (used by sim::Process).
+     *
+     * Every live Process registers itself so the watchdog can report
+     * which processes are blocked, and on what, when a run wedges.
+     */
+    /// @{
+    void registerProcess(Process *p) { processes_.push_back(p); }
+    void unregisterProcess(Process *p);
+    /// @}
+
+    /**
+     * Diagnostic snapshot of every registered, unfinished process: its
+     * name, scheduling state and the wait reason recorded at the
+     * blocking site.
+     */
+    std::vector<BlockedProcessInfo> blockedProcesses() const;
 
   private:
     struct Event
@@ -100,13 +148,25 @@ class EventQueue
         }
     };
 
-    void checkCap() const;
+    /** Throw if the budget (events / wall clock / stall) has tripped. */
+    void enforceBudget();
+
+    /** One link of the StallQueue fault-injection chain. */
+    void stallStep();
 
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t dispatched_ = 0;
-    std::uint64_t eventCap_ = 0;
+
+    RunBudget budget_;
+    bool stopRequested_ = false;
+    /** dispatched() value at the last simulated-clock advance. */
+    std::uint64_t lastProgressDispatch_ = 0;
+    bool wallArmed_ = false;
+    std::chrono::steady_clock::time_point wallDeadline_;
+
+    std::vector<Process *> processes_;
 };
 
 } // namespace absim::sim

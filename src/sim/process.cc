@@ -12,6 +12,26 @@ thread_local Process *tl_current_process = nullptr;
 
 } // namespace
 
+std::string
+toString(ProcState state)
+{
+    switch (state) {
+      case ProcState::Created:
+        return "created";
+      case ProcState::Runnable:
+        return "runnable";
+      case ProcState::Running:
+        return "running";
+      case ProcState::Delayed:
+        return "delayed";
+      case ProcState::Suspended:
+        return "suspended";
+      case ProcState::Finished:
+        return "finished";
+    }
+    return "?";
+}
+
 Process::Process(EventQueue &eq, std::string name,
                  std::function<void()> entry)
     : eq_(eq), name_(std::move(name)),
@@ -21,11 +41,18 @@ Process::Process(EventQueue &eq, std::string name,
           tl_current_process = nullptr;
       })
 {
+    eq_.registerProcess(this);
+}
+
+Process::~Process()
+{
+    eq_.unregisterProcess(this);
 }
 
 void
 Process::start(Tick when)
 {
+    state_ = ProcState::Runnable;
     scheduleResume(when);
 }
 
@@ -34,12 +61,16 @@ Process::scheduleResume(Tick when)
 {
     eq_.schedule(when, [this] {
         Process *prev = tl_current_process;
+        state_ = ProcState::Running;
         fiber_.resume();
         tl_current_process = prev;
-        if (fiber_.finished() && onFinish_) {
-            auto fin = std::move(onFinish_);
-            onFinish_ = nullptr;
-            fin(this); // May delete this; no member access after.
+        if (fiber_.finished()) {
+            state_ = ProcState::Finished;
+            if (onFinish_) {
+                auto fin = std::move(onFinish_);
+                onFinish_ = nullptr;
+                fin(this); // May delete this; no member access after.
+            }
         }
     });
 }
@@ -53,20 +84,25 @@ Process::delayUntil(Tick when)
                 "process \"" << name_ << "\" delayed into the past ("
                     << when << " < " << eq_.now() << ")");
     scheduleResume(when);
+    state_ = ProcState::Delayed;
+    delayedUntil_ = when;
     tl_current_process = nullptr;
     Fiber::yield();
     tl_current_process = this;
 }
 
 void
-Process::suspend()
+Process::suspend(std::string reason)
 {
     ABSIM_CHECK(current() == this,
                 "suspend from outside process \"" << name_ << "\"");
     suspended_ = true;
+    state_ = ProcState::Suspended;
+    waitReason_ = std::move(reason);
     tl_current_process = nullptr;
     Fiber::yield();
     tl_current_process = this;
+    waitReason_.clear();
     ABSIM_DCHECK(!suspended_, "woken process still marked suspended");
 }
 
@@ -77,6 +113,7 @@ Process::wake()
                 "wake of process \"" << name_
                                      << "\" that is not suspended");
     suspended_ = false;
+    state_ = ProcState::Runnable;
     scheduleResume(eq_.now());
 }
 

@@ -22,6 +22,23 @@
 namespace absim::sim {
 
 /**
+ * Scheduling state of a Process, tracked for watchdog diagnostics:
+ * when a run deadlocks, the blocked-process dump reports each
+ * process's state and the wait reason recorded at the blocking site.
+ */
+enum class ProcState : std::uint8_t
+{
+    Created,   ///< Constructed, never started.
+    Runnable,  ///< A resume event is scheduled.
+    Running,   ///< Currently executing on its fiber.
+    Delayed,   ///< Blocked until a known tick (delayUntil()).
+    Suspended, ///< Blocked until wake(); see waitReason().
+    Finished,  ///< Entry function returned.
+};
+
+std::string toString(ProcState state);
+
+/**
  * A simulated process.
  *
  * The entry function runs on a private fiber.  Inside it, the process may
@@ -39,6 +56,7 @@ class Process
      * @param entry  Body of the process; runs on the private fiber.
      */
     Process(EventQueue &eq, std::string name, std::function<void()> entry);
+    ~Process();
 
     Process(const Process &) = delete;
     Process &operator=(const Process &) = delete;
@@ -58,8 +76,12 @@ class Process
     /**
      * Block until wake() is called.  Must be called from inside this
      * process's fiber.
+     *
+     * @param reason  What the process waits on (e.g. "fifo-mutex
+     *                acquire"); surfaced by the deadlock watchdog's
+     *                blocked-process dump.
      */
-    void suspend();
+    void suspend(std::string reason = "");
 
     /**
      * Wake a suspended process; it resumes at the current engine time.
@@ -85,6 +107,17 @@ class Process
     bool finished() const { return fiber_.finished(); }
     EventQueue &engine() { return eq_; }
 
+    /** @name Watchdog diagnostics. */
+    /// @{
+    ProcState state() const { return state_; }
+
+    /** What the process waits on while Suspended ("" if unset). */
+    const std::string &waitReason() const { return waitReason_; }
+
+    /** Wake-up tick while Delayed. */
+    Tick delayedUntil() const { return delayedUntil_; }
+    /// @}
+
   private:
     void scheduleResume(Tick when);
 
@@ -92,6 +125,9 @@ class Process
     std::string name_;
     Fiber fiber_;
     bool suspended_ = false;
+    ProcState state_ = ProcState::Created;
+    std::string waitReason_;
+    Tick delayedUntil_ = 0;
     std::function<void(Process *)> onFinish_;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/resource.hh"
 
+#include <string>
+
 #include "check/check.hh"
 
 namespace absim::sim {
@@ -15,7 +17,7 @@ FifoMutex::acquire()
     }
     Tick began = self->engine().now();
     waiters_.push_back(self);
-    self->suspend();
+    self->suspend("fifo-mutex acquire");
     // Woken by release(): the mutex was handed to us directly.
     ABSIM_DCHECK(locked_, "FifoMutex hand-off lost the lock");
     Duration waited = self->engine().now() - began;
@@ -43,7 +45,7 @@ Condition::wait()
     Process *self = Process::current();
     ABSIM_CHECK(self != nullptr, "Condition::wait outside a process");
     waiters_.push_back(self);
-    self->suspend();
+    self->suspend("condition wait");
 }
 
 void
@@ -75,7 +77,7 @@ Latch::await()
     if (count_ == 0)
         return;
     waiter_ = self;
-    self->suspend();
+    self->suspend("latch await (count=" + std::to_string(count_) + ")");
 }
 
 } // namespace absim::sim

@@ -1,0 +1,46 @@
+#include "sim/watchdog.hh"
+
+#include <sstream>
+
+namespace absim::sim {
+
+std::string
+formatBlockedDump(const std::vector<BlockedProcessInfo> &blocked)
+{
+    std::ostringstream oss;
+    oss << blocked.size() << " unfinished process(es):";
+    for (const BlockedProcessInfo &info : blocked) {
+        oss << "\n  - " << info.name << ": " << info.state;
+        if (info.state == "delayed")
+            oss << " until " << info.delayedUntil << " ns";
+        if (!info.waitReason.empty())
+            oss << " (" << info.waitReason << ")";
+    }
+    return oss.str();
+}
+
+namespace {
+
+std::string
+composeWhat(const std::string &what, std::uint64_t events, Tick sim_time,
+            const std::vector<BlockedProcessInfo> &blocked)
+{
+    std::ostringstream oss;
+    oss << what << " [events=" << events << " sim_time=" << sim_time
+        << " ns]";
+    if (!blocked.empty())
+        oss << "\n" << formatBlockedDump(blocked);
+    return oss.str();
+}
+
+} // namespace
+
+WatchdogError::WatchdogError(const std::string &what, std::uint64_t events,
+                             Tick sim_time,
+                             std::vector<BlockedProcessInfo> blocked)
+    : std::runtime_error(composeWhat(what, events, sim_time, blocked)),
+      events_(events), simTime_(sim_time), blocked_(std::move(blocked))
+{
+}
+
+} // namespace absim::sim

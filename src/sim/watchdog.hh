@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Watchdog machinery for the event kernel: run budgets, deadlock
+ * diagnostics and the structured errors they raise.
+ *
+ * A long figure sweep must never hang forever or die without saying why.
+ * The engine therefore enforces a RunBudget (events, simulated time,
+ * wall-clock time, and a no-progress dispatch limit) and, when a budget
+ * trips or the queue drains with processes still blocked, raises a
+ * structured error carrying the engine state and a dump of every
+ * blocked process — what it waits on, and since when — instead of a
+ * bare string.  core::runOneSafe() maps these onto the RunError
+ * taxonomy (see docs/ROBUSTNESS.md).
+ */
+
+#ifndef ABSIM_SIM_WATCHDOG_HH
+#define ABSIM_SIM_WATCHDOG_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace absim::sim {
+
+/**
+ * Resource limits for one engine run.  Zero means unlimited; the
+ * default budget is fully unlimited, preserving the raw engine
+ * semantics for callers that opt out.
+ */
+struct RunBudget
+{
+    /** Maximum events dispatched before BudgetExceededError. */
+    std::uint64_t maxEvents = 0;
+
+    /** Maximum simulated time (ns) the engine may reach. */
+    Tick maxSimTime = 0;
+
+    /** Maximum host wall-clock seconds for the run. */
+    double maxWallSeconds = 0.0;
+
+    /**
+     * Deadlock watchdog: if this many consecutive events dispatch
+     * without the simulated clock advancing, the run is declared
+     * livelocked/stalled and a DeadlockError is raised with a blocked
+     * process dump.  Healthy simulations advance the clock at least
+     * every few hundred dispatches.
+     */
+    std::uint64_t stallDispatchLimit = 0;
+
+    bool
+    unlimited() const
+    {
+        return maxEvents == 0 && maxSimTime == 0 &&
+               maxWallSeconds == 0.0 && stallDispatchLimit == 0;
+    }
+};
+
+/** Diagnostic snapshot of one simulated process at watchdog time. */
+struct BlockedProcessInfo
+{
+    std::string name;
+
+    /** "created", "runnable", "running", "delayed" or "suspended". */
+    std::string state;
+
+    /** What the process waits on (set at the blocking site), or "". */
+    std::string waitReason;
+
+    /** Wake-up tick for a delayed process, 0 otherwise. */
+    Tick delayedUntil = 0;
+};
+
+/** Render a blocked-process dump, one indented line per process. */
+std::string formatBlockedDump(const std::vector<BlockedProcessInfo> &blocked);
+
+/**
+ * Base of the watchdog error family: carries the engine state at the
+ * moment the watchdog fired plus the blocked-process dump.  Derives
+ * from std::runtime_error so legacy catch sites keep working.
+ */
+class WatchdogError : public std::runtime_error
+{
+  public:
+    WatchdogError(const std::string &what, std::uint64_t events,
+                  Tick sim_time, std::vector<BlockedProcessInfo> blocked);
+
+    std::uint64_t eventsDispatched() const { return events_; }
+    Tick simTime() const { return simTime_; }
+    const std::vector<BlockedProcessInfo> &blocked() const
+    {
+        return blocked_;
+    }
+
+  private:
+    std::uint64_t events_;
+    Tick simTime_;
+    std::vector<BlockedProcessInfo> blocked_;
+};
+
+/**
+ * The simulation can make no further progress: either the event queue
+ * drained with processes still blocked, or the clock stopped advancing
+ * for RunBudget::stallDispatchLimit dispatches (livelock).
+ */
+class DeadlockError : public WatchdogError
+{
+  public:
+    using WatchdogError::WatchdogError;
+};
+
+/** A RunBudget limit (events, sim time or wall clock) was exceeded. */
+class BudgetExceededError : public WatchdogError
+{
+  public:
+    using WatchdogError::WatchdogError;
+};
+
+} // namespace absim::sim
+
+#endif // ABSIM_SIM_WATCHDOG_HH

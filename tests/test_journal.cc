@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the sweep checkpoint journal: record encoding, crash
+ * tolerance, and the headline guarantee — a sweep interrupted between
+ * points resumes from its journal and produces byte-identical final
+ * JSON to an uninterrupted run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/figures.hh"
+#include "core/journal.hh"
+
+namespace {
+
+using namespace absim;
+
+TEST(Journal, EscapeRoundTripsControlAndQuoteCharacters)
+{
+    const std::string nasty = "a \"quoted\\path\"\nwith\ttabs\rand \x01";
+    EXPECT_EQ(core::jsonUnescape(core::jsonEscape(nasty)), nasty);
+    EXPECT_EQ(core::jsonEscape("plain"), "plain");
+}
+
+TEST(Journal, FormatDoubleRoundTripsExactly)
+{
+    for (const double v : {1.0, 0.1, 1.0 / 3.0, 12345.6789e-7, 2.5e300}) {
+        const std::string text = core::formatDouble(v);
+        EXPECT_EQ(std::stod(text), v) << text;
+    }
+}
+
+TEST(Journal, RecordEncodeDecodeRoundTrips)
+{
+    core::JournalRecord success;
+    success.procs = 8;
+    success.target = 1.0 / 3.0;
+    success.logp = 2.75;
+    success.logpc = 1e-9;
+    core::JournalRecord out;
+    ASSERT_TRUE(core::decodeRecord(core::encodeRecord(success), out));
+    EXPECT_FALSE(out.failed);
+    EXPECT_EQ(out.procs, 8u);
+    EXPECT_EQ(out.target, success.target);
+    EXPECT_EQ(out.logp, success.logp);
+    EXPECT_EQ(out.logpc, success.logpc);
+
+    core::JournalRecord failure;
+    failure.procs = 16;
+    failure.failed = true;
+    failure.machine = "logp";
+    failure.error = "Deadlock";
+    failure.message = "clock stuck at \"0 ns\"";
+    ASSERT_TRUE(core::decodeRecord(core::encodeRecord(failure), out));
+    EXPECT_TRUE(out.failed);
+    EXPECT_EQ(out.procs, 16u);
+    EXPECT_EQ(out.machine, "logp");
+    EXPECT_EQ(out.error, "Deadlock");
+    EXPECT_EQ(out.message, failure.message);
+}
+
+TEST(Journal, DecodeRejectsTornLines)
+{
+    core::JournalRecord out;
+    EXPECT_FALSE(core::decodeRecord("", out));
+    EXPECT_FALSE(core::decodeRecord("{\"procs\":8,\"target\":1.5", out));
+    EXPECT_FALSE(core::decodeRecord("{\"procs\":8}", out));
+    EXPECT_FALSE(
+        core::decodeRecord("{\"procs\":8,\"machine\":\"logp", out));
+}
+
+TEST(Journal, LoadSkipsTornTrailingWrite)
+{
+    const std::string path = testing::TempDir() + "absim_torn.jsonl";
+    const core::JournalHeader header{"t", "fft", "full", "exec_time"};
+    core::startJournal(path, header);
+    core::appendJournal(path, {4, false, 1.5, 2.5, 3.5, "", "", ""});
+    {
+        // Simulate a crash mid-write: a truncated trailing line.
+        std::ofstream out(path, std::ios::app);
+        out << "{\"procs\":8,\"target\":9";
+    }
+    std::vector<core::JournalRecord> records;
+    ASSERT_TRUE(core::loadJournal(path, header, records));
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].procs, 4u);
+}
+
+TEST(Journal, HeaderMismatchIgnoresJournal)
+{
+    const std::string path = testing::TempDir() + "absim_header.jsonl";
+    core::startJournal(path, {"t", "fft", "full", "exec_time"});
+    core::appendJournal(path, {4, false, 1.0, 2.0, 3.0, "", "", ""});
+    std::vector<core::JournalRecord> records;
+    EXPECT_FALSE(core::loadJournal(
+        path, {"t", "cg", "full", "exec_time"}, records));
+    EXPECT_TRUE(records.empty());
+    EXPECT_FALSE(core::loadJournal(path + ".does-not-exist",
+                                   {"t", "fft", "full", "exec_time"},
+                                   records));
+}
+
+// ---- The resilient sweep as a drop-in for the raw sweep ----------------
+
+namespace {
+
+core::RunConfig
+smallConfig()
+{
+    core::RunConfig base;
+    base.app = "is";
+    base.params.n = 256;
+    return base;
+}
+
+} // namespace
+
+TEST(SweepSafe, MatchesRawSweepWhenNothingFails)
+{
+    const core::RunConfig base = smallConfig();
+    const auto raw = core::sweepFigure("t", base, net::TopologyKind::Full,
+                                       core::Metric::ExecTime, {1, 2});
+    const auto safe =
+        core::sweepFigureSafe("t", base, net::TopologyKind::Full,
+                              core::Metric::ExecTime, {1, 2}, {});
+    EXPECT_TRUE(safe.complete());
+    ASSERT_EQ(safe.figure.points.size(), raw.points.size());
+    for (std::size_t i = 0; i < raw.points.size(); ++i) {
+        EXPECT_EQ(safe.figure.points[i].procs, raw.points[i].procs);
+        EXPECT_EQ(safe.figure.points[i].target, raw.points[i].target);
+        EXPECT_EQ(safe.figure.points[i].logp, raw.points[i].logp);
+        EXPECT_EQ(safe.figure.points[i].logpc, raw.points[i].logpc);
+    }
+}
+
+TEST(SweepSafe, InterruptedSweepResumesByteIdentical)
+{
+    const core::RunConfig base = smallConfig();
+    const std::string path = testing::TempDir() + "absim_resume.jsonl";
+    std::remove(path.c_str());
+    core::SweepOptions options;
+    options.journalPath = path;
+
+    // Full run, journaling every point.
+    const auto full = core::sweepFigureSafe(
+        "resume", base, net::TopologyKind::Full, core::Metric::ExecTime,
+        {1, 2, 4}, options);
+    ASSERT_TRUE(full.complete());
+    std::ostringstream json_full;
+    core::writeFigureJson(json_full, full);
+
+    // Simulate a SIGKILL after the first completed point: keep the
+    // journal's header and first record, drop the rest.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 4u); // Header + three points.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << lines[0] << "\n" << lines[1] << "\n";
+    }
+
+    // Re-run: points 2 and 4 are recomputed, point 1 is replayed.
+    const auto resumed = core::sweepFigureSafe(
+        "resume", base, net::TopologyKind::Full, core::Metric::ExecTime,
+        {1, 2, 4}, options);
+    ASSERT_TRUE(resumed.complete());
+    std::ostringstream json_resumed;
+    core::writeFigureJson(json_resumed, resumed);
+
+    EXPECT_EQ(json_full.str(), json_resumed.str());
+
+    // Another run resumes everything without recomputing: the journal
+    // now holds all three points again.
+    std::vector<core::JournalRecord> records;
+    ASSERT_TRUE(core::loadJournal(
+        path, {"resume", base.app, "full", "exec_time"}, records));
+    EXPECT_EQ(records.size(), 3u);
+}
+
+TEST(SweepSafe, MismatchedJournalIsRewrittenNotTrusted)
+{
+    const core::RunConfig base = smallConfig();
+    const std::string path = testing::TempDir() + "absim_stale.jsonl";
+    // A journal from a different figure, with a bogus cached point that
+    // must NOT leak into this sweep.
+    core::startJournal(path, {"other", "fft", "cube", "latency"});
+    core::appendJournal(path, {1, false, 999.0, 999.0, 999.0, "", "", ""});
+
+    core::SweepOptions options;
+    options.journalPath = path;
+    const auto result = core::sweepFigureSafe(
+        "stale", base, net::TopologyKind::Full, core::Metric::ExecTime,
+        {1}, options);
+    ASSERT_TRUE(result.complete());
+    ASSERT_EQ(result.figure.points.size(), 1u);
+    EXPECT_NE(result.figure.points[0].target, 999.0);
+
+    // The stale journal was replaced by this sweep's own.
+    std::vector<core::JournalRecord> records;
+    ASSERT_TRUE(core::loadJournal(
+        path, {"stale", base.app, "full", "exec_time"}, records));
+    ASSERT_EQ(records.size(), 1u);
+}
+
+TEST(SweepSafe, FigureJsonIsWellFormedAndDeterministic)
+{
+    core::SweepResult result;
+    result.figure.title = "fig \"X\"";
+    result.figure.app = "fft";
+    result.figure.points.push_back({2, 0.5, 1.0 / 3.0, 2.0});
+    result.failures.push_back({4, "logp", "Deadlock", "stuck"});
+    std::ostringstream a;
+    std::ostringstream b;
+    core::writeFigureJson(a, result);
+    core::writeFigureJson(b, result);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("\"title\":\"fig \\\"X\\\"\""),
+              std::string::npos)
+        << a.str();
+    EXPECT_NE(a.str().find("\"complete\":false"), std::string::npos);
+    EXPECT_NE(a.str().find(core::formatDouble(1.0 / 3.0)),
+              std::string::npos)
+        << a.str();
+}
+
+} // namespace
