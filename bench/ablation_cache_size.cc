@@ -7,53 +7,89 @@
 /// size of both cached machines and reports miss traffic and execution
 /// time: the curves flatten once the working set fits, validating the
 /// paper's choice of 64 KB for this suite.
+///
+/// Supports --jobs N / ABSIM_JOBS: the runs execute on a worker pool
+/// and print in the same order regardless of the job count.
 #include <cstdio>
+#include <vector>
 
-#include "core/experiment.hh"
+#include "fig_common.hh"
 
 namespace {
 
 using namespace absim;
 
-void
-sweepApp(const char *app, std::uint64_t n)
-{
-    std::printf("# app=%s, P=8, full network; per-machine: read+write "
-                "misses | exec time (us)\n",
-                app);
-    std::printf("%10s %24s %24s\n", "cache", "target", "logp+c");
-    for (const std::uint32_t kb : {4u, 16u, 64u, 256u}) {
-        core::RunConfig config;
-        config.app = app;
-        config.params.n = n;
-        config.procs = 8;
-        config.cache.bytes = kb * 1024;
+constexpr std::uint32_t kSizesKb[] = {4u, 16u, 64u, 256u};
+constexpr mach::MachineKind kKinds[] = {mach::MachineKind::Target,
+                                        mach::MachineKind::LogPC};
 
-        std::uint64_t misses[2];
-        double exec[2];
-        int i = 0;
-        for (const auto kind :
-             {mach::MachineKind::Target, mach::MachineKind::LogPC}) {
-            config.machine = kind;
-            const auto profile = core::runOne(config);
-            misses[i] = profile.machine.readMisses +
-                        profile.machine.writeMisses;
-            exec[i] = static_cast<double>(profile.execTime()) / 1000.0;
-            ++i;
-        }
-        std::printf("%8uKB %12llu | %9.1f %12llu | %9.1f\n", kb,
-                    static_cast<unsigned long long>(misses[0]), exec[0],
-                    static_cast<unsigned long long>(misses[1]), exec[1]);
-    }
-    std::printf("\n");
-}
+struct AppSweep
+{
+    const char *app;
+    std::uint64_t n;
+};
+
+constexpr AppSweep kApps[] = {{"fft", 2048}, {"cg", 512}};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    sweepApp("fft", 2048);
-    sweepApp("cg", 512);
-    return 0;
+    unsigned jobs = 1;
+    if (!bench::parseJobs(argc, argv, jobs))
+        return 2;
+
+    std::vector<core::RunConfig> configs;
+    for (const AppSweep &sweep : kApps) {
+        for (const std::uint32_t kb : kSizesKb) {
+            for (const auto kind : kKinds) {
+                core::RunConfig config;
+                config.app = sweep.app;
+                config.params.n = sweep.n;
+                config.procs = 8;
+                config.cache.bytes = kb * 1024;
+                config.machine = kind;
+                configs.push_back(config);
+            }
+        }
+    }
+
+    const auto results = core::runManySafe(configs, {}, jobs);
+
+    int rc = 0;
+    std::size_t i = 0;
+    for (const AppSweep &sweep : kApps) {
+        std::printf("# app=%s, P=8, full network; per-machine: read+write "
+                    "misses | exec time (us)\n",
+                    sweep.app);
+        std::printf("%10s %24s %24s\n", "cache", "target", "logp+c");
+        for (const std::uint32_t kb : kSizesKb) {
+            std::uint64_t misses[2] = {0, 0};
+            double exec[2] = {0.0, 0.0};
+            for (int m = 0; m < 2; ++m, ++i) {
+                const core::RunResult &run = results[i];
+                if (!run.ok()) {
+                    std::fprintf(stderr,
+                                 "failed run: app=%s cache=%uKB: %s\n",
+                                 sweep.app, kb,
+                                 run.error().message.c_str());
+                    rc = 3;
+                    continue;
+                }
+                const auto &profile = run.value();
+                misses[m] = profile.machine.readMisses +
+                            profile.machine.writeMisses;
+                exec[m] =
+                    static_cast<double>(profile.execTime()) / 1000.0;
+            }
+            std::printf("%8uKB %12llu | %9.1f %12llu | %9.1f\n", kb,
+                        static_cast<unsigned long long>(misses[0]),
+                        exec[0],
+                        static_cast<unsigned long long>(misses[1]),
+                        exec[1]);
+        }
+        std::printf("\n");
+    }
+    return rc;
 }

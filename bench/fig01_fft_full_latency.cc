@@ -5,9 +5,10 @@
 #include "fig_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return absim::bench::runFigureMain(
         "Figure 1: FFT on Full: Latency", "fft",
-        absim::net::TopologyKind::Full, absim::core::Metric::Latency);
+        absim::net::TopologyKind::Full, absim::core::Metric::Latency,
+        argc, argv);
 }

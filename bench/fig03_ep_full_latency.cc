@@ -2,9 +2,10 @@
 #include "fig_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return absim::bench::runFigureMain(
         "Figure 3: EP on Full: Latency", "ep",
-        absim::net::TopologyKind::Full, absim::core::Metric::Latency);
+        absim::net::TopologyKind::Full, absim::core::Metric::Latency,
+        argc, argv);
 }

@@ -2,9 +2,10 @@
 #include "fig_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return absim::bench::runFigureMain(
         "Figure 6: IS on Full: Contention", "is",
-        absim::net::TopologyKind::Full, absim::core::Metric::Contention);
+        absim::net::TopologyKind::Full, absim::core::Metric::Contention,
+        argc, argv);
 }

@@ -2,9 +2,10 @@
 #include "fig_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return absim::bench::runFigureMain(
         "Figure 8: FFT on Cube: Contention", "fft",
-        absim::net::TopologyKind::Hypercube, absim::core::Metric::Contention);
+        absim::net::TopologyKind::Hypercube, absim::core::Metric::Contention,
+        argc, argv);
 }

@@ -2,9 +2,10 @@
 #include "fig_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return absim::bench::runFigureMain(
         "Figure 11: EP on Mesh: Contention", "ep",
-        absim::net::TopologyKind::Mesh2D, absim::core::Metric::Contention);
+        absim::net::TopologyKind::Mesh2D, absim::core::Metric::Contention,
+        argc, argv);
 }

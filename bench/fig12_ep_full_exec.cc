@@ -2,9 +2,10 @@
 #include "fig_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return absim::bench::runFigureMain(
         "Figure 12: EP on Full: Execution Time", "ep",
-        absim::net::TopologyKind::Full, absim::core::Metric::ExecTime);
+        absim::net::TopologyKind::Full, absim::core::Metric::ExecTime,
+        argc, argv);
 }

@@ -2,9 +2,10 @@
 #include "fig_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return absim::bench::runFigureMain(
         "Figure 13: FFT on Mesh: Execution Time", "fft",
-        absim::net::TopologyKind::Mesh2D, absim::core::Metric::ExecTime);
+        absim::net::TopologyKind::Mesh2D, absim::core::Metric::ExecTime,
+        argc, argv);
 }

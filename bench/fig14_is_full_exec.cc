@@ -2,9 +2,10 @@
 #include "fig_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return absim::bench::runFigureMain(
         "Figure 14: IS on Full: Execution Time", "is",
-        absim::net::TopologyKind::Full, absim::core::Metric::ExecTime);
+        absim::net::TopologyKind::Full, absim::core::Metric::ExecTime,
+        argc, argv);
 }

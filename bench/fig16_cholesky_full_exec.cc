@@ -2,9 +2,10 @@
 #include "fig_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return absim::bench::runFigureMain(
         "Figure 16: CHOLESKY on Full: Execution Time", "cholesky",
-        absim::net::TopologyKind::Full, absim::core::Metric::ExecTime);
+        absim::net::TopologyKind::Full, absim::core::Metric::ExecTime,
+        argc, argv);
 }

@@ -2,9 +2,10 @@
 #include "fig_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return absim::bench::runFigureMain(
         "Figure 17: CG on Mesh: Execution Time", "cg",
-        absim::net::TopologyKind::Mesh2D, absim::core::Metric::ExecTime);
+        absim::net::TopologyKind::Mesh2D, absim::core::Metric::ExecTime,
+        argc, argv);
 }

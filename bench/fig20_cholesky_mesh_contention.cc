@@ -2,9 +2,10 @@
 #include "fig_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return absim::bench::runFigureMain(
         "Figure 20: CHOLESKY on Mesh: Contention", "cholesky",
-        absim::net::TopologyKind::Mesh2D, absim::core::Metric::Contention);
+        absim::net::TopologyKind::Mesh2D, absim::core::Metric::Contention,
+        argc, argv);
 }

@@ -19,8 +19,13 @@
  *   ABSIM_WALL_SECONDS  per-run wall-clock budget (0 = unlimited)
  *   ABSIM_STALL_LIMIT   dispatches without sim-time progress before the
  *                       livelock watchdog fires (default 10000000)
+ *   ABSIM_JOBS          worker threads for the sweep (default 1); the
+ *                       --jobs N flag overrides it.  Output is
+ *                       byte-identical for every value — see
+ *                       docs/PARALLELISM.md.
  *
- * Exit status: 0 on a complete figure, 3 if any point failed.
+ * Exit status: 0 on a complete figure, 3 if any point failed, 2 on a
+ * bad command line.
  */
 
 #ifndef ABSIM_BENCH_FIG_COMMON_HH
@@ -35,10 +40,51 @@
 
 namespace absim::bench {
 
+/**
+ * Parse the sweep's worker-thread count: ABSIM_JOBS provides the
+ * default, --jobs N (or --jobs=N) overrides it.  Returns false (after
+ * printing usage) on an unknown flag or a malformed count.
+ */
+inline bool
+parseJobs(int argc, char **argv, unsigned &jobs)
+{
+    if (const char *env = std::getenv("ABSIM_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            jobs = static_cast<unsigned>(v);
+    }
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *value = nullptr;
+        if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 < argc)
+                value = argv[++i];
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            value = arg.c_str() + 7;
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+            return false;
+        }
+        char *end = nullptr;
+        const long v = value ? std::strtol(value, &end, 10) : 0;
+        if (value == nullptr || end == value || *end != '\0' || v <= 0) {
+            std::cerr << argv[0] << ": --jobs expects a positive count\n";
+            return false;
+        }
+        jobs = static_cast<unsigned>(v);
+    }
+    return true;
+}
+
 inline int
 runFigureMain(const std::string &title, const std::string &app,
-              net::TopologyKind topology, core::Metric metric)
+              net::TopologyKind topology, core::Metric metric,
+              int argc = 0, char **argv = nullptr)
 {
+    unsigned jobs = 1;
+    if (argv != nullptr && !parseJobs(argc, argv, jobs))
+        return 2;
+
     core::RunConfig base;
     base.app = app;
     if (const char *size = std::getenv("ABSIM_SIZE"))
@@ -67,9 +113,10 @@ runFigureMain(const std::string &title, const std::string &app,
     if (const char *cap = std::getenv("ABSIM_STALL_LIMIT"))
         options.policy.budget.stallDispatchLimit =
             std::strtoull(cap, nullptr, 10);
+    options.jobs = jobs;
 
-    const core::SweepResult result =
-        core::sweepFigureSafe(title, base, topology, metric, procs, options);
+    const core::SweepResult result = core::sweepFigureParallel(
+        title, base, topology, metric, procs, options);
     core::printFigure(std::cout, result.figure);
 
     for (const core::FailedPoint &f : result.failures)

@@ -7,10 +7,15 @@
  *   run_cli --app cg --machine target --topo mesh --procs 16 \
  *           --size 512 --iters 5 --cache-kb 64 --policy single
  *
+ * With --sweep METRIC the driver instead sweeps the processor counts
+ * (powers of two up to --procs) and prints the three-machine figure for
+ * that metric; --jobs N runs the sweep's points on a worker pool with
+ * byte-identical output (see docs/PARALLELISM.md).
+ *
  * Bad flags print a diagnostic naming the offending value plus the
  * valid choices, then the usage text, and exit 2.  Simulation failures
  * (deadlock, exceeded budget, invariant/validation failure) print the
- * structured RunError and exit 1.
+ * structured RunError and exit 1; a sweep with failed points exits 3.
  */
 
 #include <cstdio>
@@ -21,6 +26,7 @@
 #include <string>
 
 #include "core/experiment.hh"
+#include "core/figures.hh"
 #include "fault/fault.hh"
 
 using namespace absim;
@@ -57,7 +63,12 @@ usage(std::FILE *out, const char *argv0)
         "(default 2)\n"
         "  --fault-plan S   arm the fault injector, e.g.\n"
         "                   'wedge@120:node=2; corrupt@80; seed=7'\n"
-        "                   (see docs/ROBUSTNESS.md)\n",
+        "                   (see docs/ROBUSTNESS.md)\n"
+        "  --sweep METRIC   exec|latency|contention: sweep P over the\n"
+        "                   powers of two up to --procs and print the\n"
+        "                   three-machine figure\n"
+        "  --jobs N         sweep worker threads (default 1; output is\n"
+        "                   identical for any value)\n",
         argv0);
 }
 
@@ -112,6 +123,9 @@ main(int argc, char **argv)
     core::RunConfig config;
     core::RunPolicy policy;
     fault::Plan plan;
+    bool sweep = false;
+    core::Metric metric = core::Metric::ExecTime;
+    unsigned jobs = 1;
     const char *argv0 = argv[0];
 
     auto next = [&](int &i) -> const char * {
@@ -222,12 +236,60 @@ main(int argc, char **argv)
                 badFlag(argv0, std::string("invalid --fault-plan: ") +
                                    e.what());
             }
+        } else if (arg == "--sweep") {
+            const std::string v = next(i);
+            sweep = true;
+            if (v == "exec")
+                metric = core::Metric::ExecTime;
+            else if (v == "latency")
+                metric = core::Metric::Latency;
+            else if (v == "contention")
+                metric = core::Metric::Contention;
+            else
+                badFlag(argv0,
+                        "unknown sweep metric '" + v +
+                            "' (valid: exec, latency, contention)");
+        } else if (arg == "--jobs") {
+            const std::uint64_t n = parseUint(argv0, arg, next(i));
+            if (n < 1 || n > 256)
+                badFlag(argv0, "invalid --jobs value '" +
+                                   std::to_string(n) +
+                                   "' (valid: 1..256)");
+            jobs = static_cast<unsigned>(n);
         } else {
             badFlag(argv0, "unknown option '" + arg + "'");
         }
     }
 
     fault::ScopedPlan armed(plan); // Inert when the plan is empty.
+
+    if (sweep) {
+        if (!plan.faults.empty() && jobs > 1)
+            std::fprintf(stderr,
+                         "warning: --fault-plan does not propagate to "
+                         "--jobs worker threads (fault state is "
+                         "per-thread); the sweep runs fault-free\n");
+        std::vector<std::uint32_t> procs;
+        for (const std::uint32_t p : core::defaultProcCounts())
+            if (p <= config.procs)
+                procs.push_back(p);
+        core::SweepOptions options;
+        options.policy = policy;
+        options.jobs = jobs;
+        const core::SweepResult result = core::sweepFigureParallel(
+            "Sweep: " + config.app + " on " +
+                net::toString(config.topology) + ": " +
+                core::toString(metric),
+            config, config.topology, metric, procs, options);
+        core::printFigure(std::cout, result.figure);
+        for (const core::FailedPoint &f : result.failures)
+            std::fprintf(stderr,
+                         "failed point: procs=%u machine=%s error=%s: "
+                         "%s\n",
+                         f.procs, f.machine.c_str(), f.error.c_str(),
+                         f.message.c_str());
+        return result.complete() ? 0 : 3;
+    }
 
     const core::RunResult result = core::runOneSafe(config, policy);
     if (!result.ok()) {

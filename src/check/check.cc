@@ -1,5 +1,6 @@
 #include "check/check.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -17,8 +18,6 @@ defaultHandler(const char *file, int line, const char *expr,
     std::abort();
 }
 
-FailureHandler g_handler = nullptr; // nullptr = defaultHandler.
-
 void
 throwingHandler(const char *file, int line, const char *expr,
                 const std::string &message)
@@ -29,13 +28,54 @@ throwingHandler(const char *file, int line, const char *expr,
     throw CheckFailure(oss.str(), file, line);
 }
 
+std::atomic<std::uint64_t> g_evaluated{0};
+std::atomic<std::uint64_t> g_failed{0};
+
 } // namespace
+
+namespace detail {
+
+State &
+threadDefaultState()
+{
+    static thread_local State state;
+    return state;
+}
+
+} // namespace detail
+
+ScopedState::ScopedState(State &state) : prev_(&check::state())
+{
+    detail::tl_state = &state;
+}
+
+ScopedState::~ScopedState()
+{
+    detail::tl_state = prev_;
+}
+
+Counters
+globalCounters()
+{
+    Counters totals;
+    totals.evaluated = g_evaluated.load(std::memory_order_relaxed);
+    totals.failed = g_failed.load(std::memory_order_relaxed);
+    return totals;
+}
+
+void
+accumulateGlobal(const Counters &delta)
+{
+    g_evaluated.fetch_add(delta.evaluated, std::memory_order_relaxed);
+    g_failed.fetch_add(delta.failed, std::memory_order_relaxed);
+}
 
 FailureHandler
 setFailureHandler(FailureHandler handler)
 {
-    FailureHandler prev = g_handler;
-    g_handler = handler;
+    State &current = state();
+    FailureHandler prev = current.handler;
+    current.handler = handler;
     return prev;
 }
 
@@ -44,8 +84,8 @@ fail(const char *file, int line, const char *expr,
      const std::string &message)
 {
     ++counters().failed;
-    if (g_handler != nullptr)
-        g_handler(file, line, expr, message);
+    if (FailureHandler handler = state().handler; handler != nullptr)
+        handler(file, line, expr, message);
     // Either no handler was installed or the handler returned; a failed
     // invariant must never continue.
     defaultHandler(file, line, expr, message);

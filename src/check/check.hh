@@ -1,7 +1,7 @@
 /**
  * @file
  * Always-on invariant checking for the simulator: the ABSIM_CHECK /
- * ABSIM_DCHECK macro family and the global checker configuration.
+ * ABSIM_DCHECK macro family and the per-thread checker configuration.
  *
  * The paper's methodology stands or falls with exact accounting: every
  * cycle of latency, contention and wait must be attributed somewhere, and
@@ -42,8 +42,9 @@
 
 namespace absim::check {
 
-/** Global tallies of checker activity (the simulator is single-threaded
- *  per process; plain counters suffice). */
+/** Tallies of checker activity.  Counters live in the per-thread (or
+ *  per-run, see core::RunContext) check State, so concurrent runs in
+ *  one process never contend; plain integers suffice. */
 struct Counters
 {
     /** Checks evaluated (passed or failed), including active DCHECKs. */
@@ -51,14 +52,15 @@ struct Counters
 
     /** Checks that failed (only observable with a non-fatal handler). */
     std::uint64_t failed = 0;
-};
 
-inline Counters &
-counters()
-{
-    static Counters instance;
-    return instance;
-}
+    Counters &
+    operator+=(const Counters &other)
+    {
+        evaluated += other.evaluated;
+        failed += other.failed;
+        return *this;
+    }
+};
 
 /** Enable bits for the pluggable debug-mode validators.  All default to
  *  on; benchmarks that measure raw simulator speed may switch them off. */
@@ -75,12 +77,91 @@ struct Options
     bool conservation = true;
 };
 
+/**
+ * Invoked when a check fails.  May throw (tests) or log; if it returns,
+ * the process aborts — a failed invariant never continues silently.
+ */
+using FailureHandler = void (*)(const char *file, int line,
+                                const char *expr,
+                                const std::string &message);
+
+/**
+ * All mutable checker state, bundled so a simulation run can own its
+ * own copy.  Exactly one State is *current* per thread at any time:
+ * the thread's ambient default, or whatever a ScopedState (usually a
+ * core::RunContext) installed.  Because the current-state pointer is
+ * thread_local, N concurrent runs on N threads never share counters,
+ * options or the failure handler.
+ */
+struct State
+{
+    Counters counters;
+    Options options;
+
+    /** nullptr = the default handler (print to stderr and abort). */
+    FailureHandler handler = nullptr;
+};
+
+namespace detail {
+/** The thread's current state; nullptr until first use (constinit keeps
+ *  the hot-path load free of a TLS init guard). */
+inline thread_local constinit State *tl_state = nullptr;
+
+/** The thread's ambient fallback state (defined in check.cc). */
+State &threadDefaultState();
+} // namespace detail
+
+/** The current thread's active check state. */
+inline State &
+state()
+{
+    if (detail::tl_state == nullptr) [[unlikely]]
+        detail::tl_state = &detail::threadDefaultState();
+    return *detail::tl_state;
+}
+
+inline Counters &
+counters()
+{
+    return state().counters;
+}
+
 inline Options &
 options()
 {
-    static Options instance;
-    return instance;
+    return state().options;
 }
+
+/**
+ * RAII: install @p state as the current thread's check state and
+ * restore the previous one on destruction.  core::RunContext uses this
+ * to give every simulation run its own counters/options/handler.
+ */
+class ScopedState
+{
+  public:
+    explicit ScopedState(State &state);
+    ~ScopedState();
+
+    ScopedState(const ScopedState &) = delete;
+    ScopedState &operator=(const ScopedState &) = delete;
+
+    /** The state that was current before this scope (never null). */
+    State &previous() const { return *prev_; }
+
+  private:
+    State *prev_;
+};
+
+/**
+ * Process-wide totals across finished runs: core::RunContext adds its
+ * counters here when a run ends, so a parallel sweep's total check
+ * activity stays observable even though each run counted privately.
+ */
+Counters globalCounters();
+
+/** Add @p delta to the process-wide totals (thread-safe). */
+void accumulateGlobal(const Counters &delta);
 
 /** Thrown by the test failure handler (see ScopedThrowOnFailure). */
 class CheckFailure : public std::runtime_error
@@ -100,15 +181,7 @@ class CheckFailure : public std::runtime_error
 };
 
 /**
- * Invoked when a check fails.  May throw (tests) or log; if it returns,
- * the process aborts — a failed invariant never continues silently.
- */
-using FailureHandler = void (*)(const char *file, int line,
-                                const char *expr,
-                                const std::string &message);
-
-/**
- * Install a failure handler.
+ * Install a failure handler on the current thread's check state.
  * @param handler  New handler, or nullptr to restore the default
  *                 (print to stderr and abort).
  * @return The previously installed handler (nullptr if it was the

@@ -11,8 +11,17 @@
  * *finish* is called as the first action on the incoming stack, returning
  * the bounds of the stack just left.
  *
- * The wrappers below compile to no-ops when ASan is off, so src/sim/fiber
- * carries no #ifdefs at its switch points.
+ * ThreadSanitizer has the same blind spot with a different shadow: it
+ * tracks one stack + one clock per OS thread, so an unannounced
+ * ucontext switch makes it see a single thread jumping between stacks
+ * — spurious data-race reports follow.  The __tsan_*_fiber interface
+ * fixes that: each Fiber registers a TSan fiber object, and every
+ * swapcontext is announced with __tsan_switch_to_fiber immediately
+ * before the switch (flag 0 = establish synchronization between the
+ * two contexts, which matches cooperative scheduling).
+ *
+ * The wrappers below compile to no-ops when the respective sanitizer is
+ * off, so src/sim/fiber carries no #ifdefs at its switch points.
  */
 
 #ifndef ABSIM_CHECK_SANITIZER_HH
@@ -32,8 +41,23 @@
 #define ABSIM_ASAN 0
 #endif
 
+#if defined(__SANITIZE_THREAD__)
+#define ABSIM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ABSIM_TSAN 1
+#endif
+#endif
+
+#ifndef ABSIM_TSAN
+#define ABSIM_TSAN 0
+#endif
+
 #if ABSIM_ASAN
 #include <sanitizer/common_interface_defs.h>
+#endif
+#if ABSIM_TSAN
+#include <sanitizer/tsan_interface.h>
 #endif
 
 namespace absim::check {
@@ -81,6 +105,58 @@ annotateSwitchFinish(void *fake_stack_save, const void **bottom_old,
     (void)fake_stack_save;
     (void)bottom_old;
     (void)size_old;
+#endif
+}
+
+/** TSan's handle for the context calling this (thread or fiber);
+ *  nullptr when TSan is off. */
+inline void *
+tsanCurrentFiber()
+{
+#if ABSIM_TSAN
+    return __tsan_get_current_fiber();
+#else
+    return nullptr;
+#endif
+}
+
+/** Register a new TSan fiber for a stack about to start executing;
+ *  nullptr when TSan is off. */
+inline void *
+tsanCreateFiber()
+{
+#if ABSIM_TSAN
+    return __tsan_create_fiber(0);
+#else
+    return nullptr;
+#endif
+}
+
+/** Release a TSan fiber created by tsanCreateFiber (nullptr ok). */
+inline void
+tsanDestroyFiber(void *fiber)
+{
+#if ABSIM_TSAN
+    if (fiber != nullptr)
+        __tsan_destroy_fiber(fiber);
+#else
+    (void)fiber;
+#endif
+}
+
+/**
+ * Announce a context switch to @p fiber; must be called immediately
+ * before the swapcontext that performs it (flag 0 = the switch
+ * synchronizes the two contexts).  No-op when TSan is off.
+ */
+inline void
+tsanSwitchFiber(void *fiber)
+{
+#if ABSIM_TSAN
+    if (fiber != nullptr)
+        __tsan_switch_to_fiber(fiber, 0);
+#else
+    (void)fiber;
 #endif
 }
 

@@ -1,10 +1,15 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "check/check.hh"
+#include "core/run_context.hh"
 #include "machines/logp_c_machine.hh"
 #include "machines/logp_machine.hh"
 #include "machines/target_machine.hh"
@@ -43,6 +48,10 @@ runOneImpl(const RunConfig &config, const sim::RunBudget *budget)
 {
     const auto wall_begin = std::chrono::steady_clock::now();
 
+    // The run's ambient-state root: private check counters/options,
+    // trace and fault injector, installed on this thread for the run's
+    // duration so concurrent runs never share mutable simulator state.
+    RunContext run_context;
     sim::EventQueue eq;
     if (budget != nullptr)
         eq.setBudget(*budget);
@@ -149,6 +158,83 @@ runOneSafe(const RunConfig &config, const RunPolicy &policy)
     }
     // Unreachable: the loop always returns.
     return plainError(RunErrorKind::Panic, "retry loop fell through", 1);
+}
+
+namespace {
+
+/** runOneSafe never throws for simulation failures, but a worker
+ *  thread must also never die to an escaped std::bad_alloc or similar:
+ *  anything that does escape is classified as a Panic. */
+RunResult
+runOneGuarded(const RunConfig &config, const RunPolicy &policy)
+{
+    try {
+        return runOneSafe(config, policy);
+    } catch (const std::exception &e) {
+        return plainError(RunErrorKind::Panic, e.what(), 1);
+    } catch (...) {
+        return plainError(RunErrorKind::Panic,
+                          "unknown exception escaped runOneSafe", 1);
+    }
+}
+
+} // namespace
+
+std::vector<RunResult>
+runManySafe(const std::vector<RunConfig> &configs, const RunPolicy &policy,
+            unsigned jobs, const RunManyCallback &onResult)
+{
+    const std::size_t n = configs.size();
+    std::vector<std::optional<RunResult>> slots(n);
+    std::mutex mutex;
+
+    auto runTask = [&](std::size_t i) {
+        RunResult result = runOneGuarded(configs[i], policy);
+        const std::lock_guard<std::mutex> lock(mutex);
+        slots[i].emplace(std::move(result));
+        if (onResult)
+            onResult(i, *slots[i]);
+    };
+
+    const std::size_t workers =
+        std::min<std::size_t>(std::max(1u, jobs), std::max<std::size_t>(n, 1));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            runTask(i);
+    } else {
+        // Fixed pool over an atomic work index: scheduling order is
+        // irrelevant to the output because every result lands in its
+        // own slot and each run is deterministic in its config.
+        const check::Options ambient_options = check::options();
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&] {
+                // Workers inherit the submitter's validator options;
+                // everything else starts from the thread's clean
+                // ambient state (no fault plan, default trace).
+                check::State worker_state;
+                worker_state.options = ambient_options;
+                check::ScopedState scope(worker_state);
+                for (;;) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= n)
+                        break;
+                    runTask(i);
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    std::vector<RunResult> results;
+    results.reserve(n);
+    for (auto &slot : slots)
+        results.push_back(std::move(*slot));
+    return results;
 }
 
 } // namespace absim::core

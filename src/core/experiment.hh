@@ -17,8 +17,10 @@
 #ifndef ABSIM_CORE_EXPERIMENT_HH
 #define ABSIM_CORE_EXPERIMENT_HH
 
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "apps/app.hh"
 #include "core/run_error.hh"
@@ -100,6 +102,38 @@ using RunResult = Result<stats::Profile, RunError>;
  */
 RunResult runOneSafe(const RunConfig &config,
                      const RunPolicy &policy = {});
+
+/**
+ * Completion callback of runManySafe: invoked exactly once per config
+ * with its index and result.  Calls are serialized under an internal
+ * mutex but arrive in *completion* order, not index order.
+ */
+using RunManyCallback =
+    std::function<void(std::size_t index, const RunResult &result)>;
+
+/**
+ * Run every config under runOneSafe() on a fixed pool of @p jobs
+ * threads and return the results in config order.
+ *
+ * Each run executes inside its own RunContext (installed by
+ * runOneImpl), so concurrent runs share no mutable simulator state.
+ * Results are deterministic and independent of @p jobs: the simulator
+ * is seeded per config, and results are keyed by index, never by
+ * completion order.  Worker threads inherit the calling thread's check
+ * *options*; an armed fault plan deliberately does NOT propagate
+ * across threads (fault state is per-thread — see fault::injector()),
+ * so with jobs > 1 every run is fault-free unless its own thread arms
+ * a plan.
+ *
+ * @param jobs  Worker threads; 0 or 1 runs serially on the calling
+ *              thread (then an armed plan and the ambient trace apply,
+ *              exactly as with plain runOneSafe).  Clamped to the
+ *              number of configs.
+ */
+std::vector<RunResult> runManySafe(const std::vector<RunConfig> &configs,
+                                   const RunPolicy &policy = {},
+                                   unsigned jobs = 1,
+                                   const RunManyCallback &onResult = {});
 
 } // namespace absim::core
 

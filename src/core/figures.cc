@@ -1,7 +1,10 @@
 #include "core/figures.hh"
 
+#include <cstdlib>
 #include <iomanip>
+#include <iterator>
 #include <map>
+#include <optional>
 #include <ostream>
 
 #include "core/journal.hh"
@@ -72,11 +75,62 @@ sweepFigure(const std::string &title, const RunConfig &base,
     return figure;
 }
 
+namespace {
+
+struct MachineRun
+{
+    mach::MachineKind kind;
+    const char *name;
+    double SeriesPoint::*slot;
+};
+
+constexpr MachineRun kMachines[] = {
+    {mach::MachineKind::Target, "target", &SeriesPoint::target},
+    {mach::MachineKind::LogP, "logp", &SeriesPoint::logp},
+    {mach::MachineKind::LogPC, "logp+c", &SeriesPoint::logpc},
+};
+
+constexpr std::size_t kMachineCount = std::size(kMachines);
+
+/** What one sweep point produced: a complete SeriesPoint, or the
+ *  per-machine failures that kept it out of the curve. */
+struct PointOutcome
+{
+    SeriesPoint point;
+    std::vector<FailedPoint> failures;
+};
+
+/** Resolve SweepOptions::jobs: 0 = auto (ABSIM_JOBS, else serial). */
+unsigned
+resolveJobs(unsigned jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    if (const char *env = std::getenv("ABSIM_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 1;
+}
+
+} // namespace
+
 SweepResult
 sweepFigureSafe(const std::string &title, const RunConfig &base,
                 net::TopologyKind topology, Metric metric,
                 const std::vector<std::uint32_t> &proc_counts,
                 const SweepOptions &options)
+{
+    return sweepFigureParallel(title, base, topology, metric, proc_counts,
+                               options);
+}
+
+SweepResult
+sweepFigureParallel(const std::string &title, const RunConfig &base,
+                    net::TopologyKind topology, Metric metric,
+                    const std::vector<std::uint32_t> &proc_counts,
+                    const SweepOptions &options)
 {
     SweepResult result;
     result.figure.title = title;
@@ -87,9 +141,10 @@ sweepFigureSafe(const std::string &title, const RunConfig &base,
     // Resume: replay every point the journal already holds.
     const JournalHeader header{title, base.app, net::toString(topology),
                                toString(metric)};
+    const bool journaling = !options.journalPath.empty();
     std::map<std::uint32_t, SeriesPoint> done;
     std::map<std::uint32_t, std::vector<FailedPoint>> failed;
-    if (!options.journalPath.empty()) {
+    if (journaling) {
         std::vector<JournalRecord> records;
         if (loadJournal(options.journalPath, header, records)) {
             for (const JournalRecord &r : records) {
@@ -106,18 +161,95 @@ sweepFigureSafe(const std::string &title, const RunConfig &base,
         }
     }
 
-    struct MachineRun
-    {
-        mach::MachineKind kind;
-        const char *name;
-        double SeriesPoint::*slot;
-    };
-    static constexpr MachineRun kMachines[] = {
-        {mach::MachineKind::Target, "target", &SeriesPoint::target},
-        {mach::MachineKind::LogP, "logp", &SeriesPoint::logp},
-        {mach::MachineKind::LogPC, "logp+c", &SeriesPoint::logpc},
+    // Points the journal does not already answer, in sweep order; one
+    // work item per (point, machine) so the pool load-balances across
+    // the (much) slower target-machine runs.
+    std::vector<std::uint32_t> pending;
+    for (const std::uint32_t p : proc_counts)
+        if (done.find(p) == done.end() && failed.find(p) == failed.end())
+            pending.push_back(p);
+
+    std::vector<RunConfig> configs;
+    configs.reserve(pending.size() * kMachineCount);
+    for (const std::uint32_t p : pending) {
+        RunConfig config = base;
+        config.topology = topology;
+        config.procs = p;
+        for (const MachineRun &m : kMachines) {
+            config.machine = m.kind;
+            configs.push_back(config);
+        }
+    }
+
+    std::vector<std::optional<PointOutcome>> outcomes(pending.size());
+
+    // Completion bookkeeping (serialized by runManySafe's callback
+    // mutex): assemble a point once its three runs are in, and commit
+    // journal records through an in-order frontier so the journal's
+    // bytes — and its crash-safe prefix property — match the serial
+    // sweep's exactly, whatever order the pool finishes in.
+    std::vector<std::optional<RunResult>> collected(configs.size());
+    std::vector<std::size_t> runsDone(pending.size(), 0);
+    std::size_t frontier = 0;
+
+    auto assemblePoint = [&](std::size_t idx) {
+        PointOutcome outcome;
+        outcome.point.procs = pending[idx];
+        for (std::size_t mi = 0; mi < kMachineCount; ++mi) {
+            const RunResult &run = *collected[idx * kMachineCount + mi];
+            if (run.ok())
+                outcome.point.*(kMachines[mi].slot) =
+                    metricValue(run.value(), metric);
+            else
+                outcome.failures.push_back(FailedPoint{
+                    pending[idx], kMachines[mi].name,
+                    toString(run.error().kind), run.error().message});
+        }
+        return outcome;
     };
 
+    auto commitPoint = [&](std::size_t idx) {
+        const PointOutcome &outcome = *outcomes[idx];
+        if (!journaling)
+            return;
+        if (outcome.failures.empty()) {
+            appendJournal(options.journalPath,
+                          JournalRecord{outcome.point.procs, false,
+                                        outcome.point.target,
+                                        outcome.point.logp,
+                                        outcome.point.logpc, "", "", ""});
+        } else {
+            for (const FailedPoint &f : outcome.failures)
+                appendJournal(options.journalPath,
+                              JournalRecord{f.procs, true, 0.0, 0.0, 0.0,
+                                            f.machine, f.error,
+                                            f.message});
+        }
+    };
+
+    const RunManyCallback onResult = [&](std::size_t i,
+                                         const RunResult &run) {
+        collected[i] = run;
+        const std::size_t idx = i / kMachineCount;
+        if (++runsDone[idx] < kMachineCount)
+            return;
+        outcomes[idx] = assemblePoint(idx);
+        // Release the per-run results as the frontier passes: a long
+        // sweep holds at most the out-of-order window's profiles.
+        while (frontier < pending.size() && outcomes[frontier]) {
+            commitPoint(frontier);
+            for (std::size_t mi = 0; mi < kMachineCount; ++mi)
+                collected[frontier * kMachineCount + mi].reset();
+            ++frontier;
+        }
+    };
+
+    (void)runManySafe(configs, options.policy, resolveJobs(options.jobs),
+                      onResult);
+
+    // Assemble the figure in sweep order: journal replays and fresh
+    // outcomes interleave exactly as the serial sweep emitted them.
+    std::size_t next_pending = 0;
     for (const std::uint32_t p : proc_counts) {
         if (const auto it = done.find(p); it != done.end()) {
             result.figure.points.push_back(it->second);
@@ -130,42 +262,13 @@ sweepFigureSafe(const std::string &title, const RunConfig &base,
                                    it->second.begin(), it->second.end());
             continue;
         }
-
-        SeriesPoint point;
-        point.procs = p;
-        RunConfig config = base;
-        config.topology = topology;
-        config.procs = p;
-
-        std::vector<FailedPoint> point_failures;
-        for (const MachineRun &m : kMachines) {
-            config.machine = m.kind;
-            RunResult run = runOneSafe(config, options.policy);
-            if (run.ok())
-                point.*(m.slot) = metricValue(run.value(), metric);
-            else
-                point_failures.push_back(
-                    FailedPoint{p, m.name, toString(run.error().kind),
-                                run.error().message});
-        }
-
-        if (point_failures.empty()) {
-            result.figure.points.push_back(point);
-            if (!options.journalPath.empty())
-                appendJournal(options.journalPath,
-                              JournalRecord{p, false, point.target,
-                                            point.logp, point.logpc,
-                                            "", "", ""});
-        } else {
-            for (const FailedPoint &f : point_failures) {
-                result.failures.push_back(f);
-                if (!options.journalPath.empty())
-                    appendJournal(options.journalPath,
-                                  JournalRecord{p, true, 0.0, 0.0, 0.0,
-                                                f.machine, f.error,
-                                                f.message});
-            }
-        }
+        const PointOutcome &outcome = *outcomes[next_pending++];
+        if (outcome.failures.empty())
+            result.figure.points.push_back(outcome.point);
+        else
+            result.failures.insert(result.failures.end(),
+                                   outcome.failures.begin(),
+                                   outcome.failures.end());
     }
     return result;
 }

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-run simulation context: the ownership root for all the mutable
+ * state that used to live in process singletons.
+ *
+ * One RunContext exists per simulation run (runOneImpl creates it
+ * alongside the run's EventQueue).  It owns a private copy of
+ *
+ *  - the check state (counters, validator options, failure handler),
+ *  - the trace configuration (category mask + sink), and
+ *  - the fault injector
+ *
+ * and RAII-installs them as the *current* state of the executing
+ * thread for the run's duration.  That makes N concurrent runs in one
+ * process safe: nothing a run mutates is visible to a run on another
+ * thread, and the fiber scheduler and current-process pointer were
+ * already thread_local (src/sim/fiber.cc, src/sim/process.cc).
+ *
+ * Inheritance semantics keep the single-run workflow unchanged:
+ *
+ *  - check options and the failure handler are *copied* from the
+ *    enclosing state, so runOneSafe's throwing handler and a bench's
+ *    disabled validators apply inside the run;
+ *  - the trace mask and sink are copied, so tracing enabled before
+ *    runOne() still traces the run;
+ *  - the fault injector is *adopted* (not replaced) when the enclosing
+ *    thread already armed a plan: firing state must latch across the
+ *    retries of runOneSafe and stay inspectable after the run, exactly
+ *    as the chaos suite expects.  An unarmed thread gets a fresh inert
+ *    injector, so a plan armed in a concurrent run can never leak in.
+ *
+ * At destruction the context's check counters are aggregated into the
+ * enclosing state and into check::globalCounters(), so "how many
+ * invariants ran" stays answerable after a parallel sweep whose worker
+ * threads are gone.  Contexts are created and destroyed on the same
+ * thread and must not be nested on purpose (a nested run would simply
+ * see the outer context as its ambient state, which is well-defined).
+ */
+
+#ifndef ABSIM_CORE_RUN_CONTEXT_HH
+#define ABSIM_CORE_RUN_CONTEXT_HH
+
+#include <optional>
+
+#include "check/check.hh"
+#include "fault/fault.hh"
+#include "sim/trace.hh"
+
+namespace absim::core {
+
+/** Owns and installs one simulation run's mutable ambient state. */
+class RunContext
+{
+  public:
+    RunContext();
+    ~RunContext();
+
+    RunContext(const RunContext &) = delete;
+    RunContext &operator=(const RunContext &) = delete;
+
+    /** This run's check state (counters tally here until run end). */
+    check::State &checkState() { return checkState_; }
+
+    /** This run's trace configuration. */
+    sim::Trace &trace() { return trace_; }
+
+    /**
+     * The injector active for this run: the context's own inert one,
+     * or the enclosing thread's when a plan was armed before the run
+     * started (see the adoption rule above).
+     */
+    fault::Injector &faultInjector() { return *activeInjector_; }
+
+    /** True when the enclosing thread's armed injector was adopted. */
+    bool adoptedAmbientInjector() const { return adopted_; }
+
+  private:
+    static check::State inheritCheckState();
+    static sim::Trace inheritTrace();
+
+    check::State checkState_;
+    sim::Trace trace_;
+    fault::Injector injector_;
+    fault::Injector *activeInjector_ = nullptr;
+    bool adopted_;
+
+    check::ScopedState checkScope_;
+    sim::ScopedTrace traceScope_;
+    std::optional<fault::ScopedInjector> injectorScope_;
+};
+
+} // namespace absim::core
+
+#endif // ABSIM_CORE_RUN_CONTEXT_HH

@@ -131,7 +131,7 @@ Injector::arm(const Plan &plan)
     totalAccesses_ = 0;
     dropArmed_ = false;
     fired_ = {};
-    detail::g_armed = !plan_.faults.empty();
+    armed_ = !plan_.faults.empty();
 }
 
 void
@@ -142,14 +142,14 @@ Injector::disarm()
     nodeAccesses_.clear();
     totalAccesses_ = 0;
     dropArmed_ = false;
-    detail::g_armed = false;
+    armed_ = false;
 }
 
 AccessFault
 Injector::onAccess(std::uint32_t node)
 {
     AccessFault out;
-    if (!detail::g_armed)
+    if (!armed_)
         return out;
     ++totalAccesses_;
     if (node >= nodeAccesses_.size())
@@ -201,7 +201,7 @@ Injector::consumeDropOverhead()
 bool
 Injector::shouldStallQueue(std::uint64_t dispatched)
 {
-    if (!detail::g_armed)
+    if (!armed_)
         return false;
     for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
         if (specDone_[i] || plan_.faults[i].kind != Kind::StallQueue)
@@ -215,11 +215,15 @@ Injector::shouldStallQueue(std::uint64_t dispatched)
     return false;
 }
 
+namespace detail {
+
 Injector &
-injector()
+threadDefaultInjector()
 {
-    static Injector instance;
+    static thread_local Injector instance;
     return instance;
 }
+
+} // namespace detail
 
 } // namespace absim::fault

@@ -95,27 +95,26 @@ struct AccessFault
     bool corrupt = false;
 };
 
-namespace detail {
-/** Fast inert-path flag; written only by Injector::arm()/disarm(). */
-inline bool g_armed = false;
-} // namespace detail
-
-/** True if a fault plan is armed (the only cost on the inert path). */
-inline bool
-armed()
-{
-    return detail::g_armed;
-}
-
 /**
- * The process-wide fault injector.  Simulation hot paths consult it
- * only when armed(); tests arm a Plan via ScopedPlan.
+ * A fault injector.  Exactly one injector is *current* per thread at
+ * any time (see injector() below): the thread's ambient default, or
+ * whatever a ScopedInjector — usually a core::RunContext — installed.
+ * Simulation hot paths consult the current injector only when armed();
+ * tests arm a Plan via ScopedPlan.  Because the current-injector
+ * pointer is thread_local, a plan armed in one run can never leak into
+ * a run executing concurrently on another thread.
  */
 class Injector
 {
   public:
     void arm(const Plan &plan);
     void disarm();
+
+    /** True between arm() of a non-empty plan and disarm(); the only
+     *  cost on the inert path. */
+    bool armed() const { return armed_; }
+
+    const Plan &plan() const { return plan_; }
 
     std::uint64_t seed() const { return plan_.seed; }
 
@@ -156,14 +155,60 @@ class Injector
     std::vector<bool> specDone_;
     std::vector<std::uint64_t> nodeAccesses_;
     std::uint64_t totalAccesses_ = 0;
+    bool armed_ = false;
     bool dropArmed_ = false;
     std::array<std::uint64_t, 4> fired_{};
 };
 
-/** The global injector consulted by the simulation hooks. */
-Injector &injector();
+namespace detail {
+/** The thread's current injector; nullptr until first use (constinit
+ *  keeps the armed() fast path free of a TLS init guard). */
+inline thread_local constinit Injector *tl_injector = nullptr;
 
-/** RAII: arm a plan for the current scope (tests). */
+/** The thread's ambient fallback injector (defined in fault.cc). */
+Injector &threadDefaultInjector();
+} // namespace detail
+
+/** The current thread's injector, consulted by the simulation hooks. */
+inline Injector &
+injector()
+{
+    if (detail::tl_injector == nullptr) [[unlikely]]
+        detail::tl_injector = &detail::threadDefaultInjector();
+    return *detail::tl_injector;
+}
+
+/** True if a fault plan is armed on the current thread.  A thread that
+ *  never touched the injector reads one thread_local pointer. */
+inline bool
+armed()
+{
+    return detail::tl_injector != nullptr && detail::tl_injector->armed();
+}
+
+/**
+ * RAII: install @p injector as the current thread's injector and
+ * restore the previous one on destruction.  core::RunContext uses this
+ * to give every simulation run its own (inert) injector.
+ */
+class ScopedInjector
+{
+  public:
+    explicit ScopedInjector(Injector &injector) : prev_(&fault::injector())
+    {
+        detail::tl_injector = &injector;
+    }
+
+    ~ScopedInjector() { detail::tl_injector = prev_; }
+
+    ScopedInjector(const ScopedInjector &) = delete;
+    ScopedInjector &operator=(const ScopedInjector &) = delete;
+
+  private:
+    Injector *prev_;
+};
+
+/** RAII: arm a plan on the current thread's injector (tests/CLI). */
 class ScopedPlan
 {
   public:

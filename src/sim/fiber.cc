@@ -65,6 +65,7 @@ Fiber::~Fiber()
 {
     // A fiber destroyed mid-flight simply abandons its execution state;
     // its stack memory is still recyclable.
+    check::tsanDestroyFiber(tsanFiber_);
     recycleStack(std::move(stack_), stackBytes_);
 }
 
@@ -103,6 +104,7 @@ Fiber::trampoline()
     tl_current = nullptr;
     check::annotateSwitchStart(nullptr, self->switchFromBottom_,
                                self->switchFromSize_);
+    check::tsanSwitchFiber(self->tsanReturnFiber_);
     swapcontext(&self->context_, &self->returnContext_);
     // Never reached.
     std::abort();
@@ -122,10 +124,13 @@ Fiber::resume()
         context_.uc_stack.ss_size = stackBytes_;
         context_.uc_link = &returnContext_;
         makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 0);
+        tsanFiber_ = check::tsanCreateFiber();
     }
     tl_current = this;
+    tsanReturnFiber_ = check::tsanCurrentFiber();
     void *fake_stack = nullptr;
     check::annotateSwitchStart(&fake_stack, stack_.get(), stackBytes_);
+    check::tsanSwitchFiber(tsanFiber_);
     swapcontext(&returnContext_, &context_);
     check::annotateSwitchFinish(fake_stack, nullptr, nullptr);
     // Back in the scheduler: either the fiber yielded (tl_current reset in
@@ -145,6 +150,7 @@ Fiber::yield()
     void *fake_stack = nullptr;
     check::annotateSwitchStart(&fake_stack, self->switchFromBottom_,
                                self->switchFromSize_);
+    check::tsanSwitchFiber(self->tsanReturnFiber_);
     swapcontext(&self->context_, &self->returnContext_);
     check::annotateSwitchFinish(fake_stack, &self->switchFromBottom_,
                                 &self->switchFromSize_);

@@ -100,6 +100,14 @@ class Fiber
      */
     const void *switchFromBottom_ = nullptr;
     std::size_t switchFromSize_ = 0;
+
+    /**
+     * TSan's fiber objects: this fiber's own context and the scheduler
+     * context that resumed it, so yield/finish can announce the switch
+     * back.  Null (and unused) when TSan is off.
+     */
+    void *tsanFiber_ = nullptr;
+    void *tsanReturnFiber_ = nullptr;
 };
 
 } // namespace absim::sim

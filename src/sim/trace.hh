@@ -31,16 +31,22 @@ enum class TraceCategory : std::uint32_t
     Runtime = 1u << 3,  ///< Processor-level events.
 };
 
-/** Global trace configuration and sink. */
+/**
+ * Trace configuration and sink.
+ *
+ * Exactly one Trace is *current* per thread at any time: the thread's
+ * ambient default (what instance() returns on a fresh thread), or
+ * whatever a ScopedTrace — usually a core::RunContext — installed.
+ * Keeping the current-trace pointer thread_local lets N concurrent
+ * simulations trace to N different sinks without interleaving.
+ */
 class Trace
 {
   public:
-    static Trace &
-    instance()
-    {
-        static Trace trace;
-        return trace;
-    }
+    Trace() = default;
+
+    /** The current thread's active trace. */
+    static Trace &instance();
 
     void
     enable(TraceCategory category)
@@ -62,6 +68,10 @@ class Trace
         return (mask_ & static_cast<std::uint32_t>(category)) != 0;
     }
 
+    /** The raw category bitmask (for snapshotting into a run context). */
+    std::uint32_t mask() const { return mask_; }
+    void setMask(std::uint32_t mask) { mask_ = mask; }
+
     /** Sink defaults to std::cerr; never null. */
     void setSink(std::ostream *sink) { sink_ = sink ? sink : &std::cerr; }
     std::ostream &sink() { return *sink_; }
@@ -74,10 +84,52 @@ class Trace
     }
 
   private:
-    Trace() = default;
-
     std::uint32_t mask_ = 0;
     std::ostream *sink_ = &std::cerr;
+};
+
+namespace detail {
+/** The thread's current trace; nullptr until first use (constinit keeps
+ *  the trace-site load free of a TLS init guard). */
+inline thread_local constinit Trace *tl_trace = nullptr;
+
+/** The thread's ambient fallback trace. */
+inline Trace &
+threadDefaultTrace()
+{
+    static thread_local Trace trace;
+    return trace;
+}
+} // namespace detail
+
+inline Trace &
+Trace::instance()
+{
+    if (detail::tl_trace == nullptr) [[unlikely]]
+        detail::tl_trace = &detail::threadDefaultTrace();
+    return *detail::tl_trace;
+}
+
+/**
+ * RAII: install @p trace as the current thread's trace and restore the
+ * previous one on destruction.  core::RunContext uses this to give
+ * every simulation run its own trace configuration.
+ */
+class ScopedTrace
+{
+  public:
+    explicit ScopedTrace(Trace &trace) : prev_(&Trace::instance())
+    {
+        detail::tl_trace = &trace;
+    }
+
+    ~ScopedTrace() { detail::tl_trace = prev_; }
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+  private:
+    Trace *prev_;
 };
 
 /**

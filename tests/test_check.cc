@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 
 #include "check/check.hh"
 #include "core/experiment.hh"
@@ -84,6 +85,27 @@ TEST(CheckMacros, HandlerRestoredAfterScope)
     // default (nullptr).
     check::FailureHandler prev = check::setFailureHandler(nullptr);
     EXPECT_EQ(prev, nullptr);
+}
+
+TEST(CheckMacros, HandlerAndCountersArePerThread)
+{
+    check::ScopedThrowOnFailure guard;
+    const std::uint64_t mine = check::counters().evaluated;
+    check::FailureHandler other_handler =
+        reinterpret_cast<check::FailureHandler>(1);
+    std::uint64_t other_evaluated = ~0ull;
+    std::thread peer([&] {
+        // A fresh thread sees its own clean state, not this thread's
+        // throwing handler or counter tallies — so concurrent runs
+        // can't race on handler installation.
+        other_handler = check::state().handler;
+        other_evaluated = check::counters().evaluated;
+        ABSIM_CHECK(true, "tallied on the peer thread only");
+    });
+    peer.join();
+    EXPECT_EQ(other_handler, nullptr);
+    EXPECT_EQ(other_evaluated, 0u);
+    EXPECT_EQ(check::counters().evaluated, mine);
 }
 
 // ----------------------------------------------------------- Causality

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: core::runManySafe and
+ * core::sweepFigureParallel.  The headline guarantee under test is
+ * determinism — any --jobs value must produce byte-identical figure
+ * JSON and journal contents to the serial sweep, and journal resume
+ * must compose with parallel execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/figures.hh"
+
+namespace {
+
+using namespace absim;
+
+core::RunConfig
+smallConfig(std::uint32_t procs)
+{
+    core::RunConfig config;
+    config.app = "is";
+    config.params.n = 512;
+    config.procs = procs;
+    return config;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::string
+jsonFor(const core::SweepResult &result)
+{
+    std::ostringstream os;
+    core::writeFigureJson(os, result);
+    return os.str();
+}
+
+TEST(RunManySafe, ParallelResultsMatchSerialInConfigOrder)
+{
+    std::vector<core::RunConfig> configs;
+    for (const std::uint32_t p : {1u, 2u, 4u, 1u, 2u, 4u})
+        configs.push_back(smallConfig(p));
+    configs[3].machine = mach::MachineKind::LogP;
+    configs[4].machine = mach::MachineKind::LogPC;
+
+    const auto serial = core::runManySafe(configs, {}, 1);
+    const auto parallel = core::runManySafe(configs, {}, 4);
+    ASSERT_EQ(serial.size(), configs.size());
+    ASSERT_EQ(parallel.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok()) << i;
+        ASSERT_TRUE(parallel[i].ok()) << i;
+        EXPECT_EQ(serial[i].value().execTime(),
+                  parallel[i].value().execTime())
+            << i;
+        EXPECT_EQ(serial[i].value().machine.messages,
+                  parallel[i].value().machine.messages)
+            << i;
+    }
+}
+
+TEST(RunManySafe, CallbackFiresExactlyOncePerIndexSerialized)
+{
+    std::vector<core::RunConfig> configs;
+    for (const std::uint32_t p : {1u, 2u, 4u, 8u})
+        configs.push_back(smallConfig(p));
+
+    std::set<std::size_t> seen;
+    std::atomic<int> in_callback{0};
+    const auto results = core::runManySafe(
+        configs, {}, 4, [&](std::size_t i, const core::RunResult &run) {
+            // The callback contract: serialized under a mutex.
+            EXPECT_EQ(in_callback.fetch_add(1), 0);
+            EXPECT_TRUE(run.ok());
+            EXPECT_TRUE(seen.insert(i).second) << "duplicate " << i;
+            in_callback.fetch_sub(1);
+        });
+    EXPECT_EQ(results.size(), configs.size());
+    EXPECT_EQ(seen.size(), configs.size());
+}
+
+TEST(RunManySafe, JobsZeroRunsSerially)
+{
+    const auto results =
+        core::runManySafe({smallConfig(2)}, {}, 0);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok());
+}
+
+TEST(ParallelSweep, ByteIdenticalJsonAndJournalAcrossJobCounts)
+{
+    const core::RunConfig base = smallConfig(1);
+    const std::vector<std::uint32_t> procs{1, 2, 4, 8};
+
+    core::SweepOptions serial_options;
+    serial_options.jobs = 1;
+    serial_options.journalPath =
+        testing::TempDir() + "parallel_sweep_serial.journal.jsonl";
+    std::remove(serial_options.journalPath.c_str());
+    const auto serial = core::sweepFigureSafe(
+        "determinism", base, net::TopologyKind::Full,
+        core::Metric::ExecTime, procs, serial_options);
+
+    core::SweepOptions parallel_options;
+    parallel_options.jobs = 8;
+    parallel_options.journalPath =
+        testing::TempDir() + "parallel_sweep_jobs8.journal.jsonl";
+    std::remove(parallel_options.journalPath.c_str());
+    const auto parallel = core::sweepFigureParallel(
+        "determinism", base, net::TopologyKind::Full,
+        core::Metric::ExecTime, procs, parallel_options);
+
+    ASSERT_TRUE(serial.complete());
+    ASSERT_TRUE(parallel.complete());
+    EXPECT_EQ(jsonFor(serial), jsonFor(parallel));
+    const std::string serial_journal = slurp(serial_options.journalPath);
+    EXPECT_FALSE(serial_journal.empty());
+    EXPECT_EQ(serial_journal, slurp(parallel_options.journalPath));
+}
+
+TEST(ParallelSweep, JournalResumeComposesWithParallelExecution)
+{
+    const core::RunConfig base = smallConfig(1);
+    const std::vector<std::uint32_t> all{1, 2, 4, 8};
+
+    // Reference: one uninterrupted serial sweep.
+    core::SweepOptions reference_options;
+    reference_options.journalPath =
+        testing::TempDir() + "parallel_resume_reference.journal.jsonl";
+    std::remove(reference_options.journalPath.c_str());
+    const auto reference = core::sweepFigureSafe(
+        "resume", base, net::TopologyKind::Full, core::Metric::ExecTime,
+        all, reference_options);
+
+    // Interrupted run: the first two points land in the journal...
+    core::SweepOptions resumed_options;
+    resumed_options.journalPath =
+        testing::TempDir() + "parallel_resume.journal.jsonl";
+    std::remove(resumed_options.journalPath.c_str());
+    (void)core::sweepFigureSafe("resume", base, net::TopologyKind::Full,
+                                core::Metric::ExecTime, {1, 2},
+                                resumed_options);
+
+    // ...and a parallel re-run completes the rest from the checkpoint.
+    resumed_options.jobs = 8;
+    const auto resumed = core::sweepFigureParallel(
+        "resume", base, net::TopologyKind::Full, core::Metric::ExecTime,
+        all, resumed_options);
+
+    ASSERT_TRUE(reference.complete());
+    ASSERT_TRUE(resumed.complete());
+    EXPECT_EQ(jsonFor(reference), jsonFor(resumed));
+    EXPECT_EQ(slurp(reference_options.journalPath),
+              slurp(resumed_options.journalPath));
+}
+
+} // namespace

@@ -16,6 +16,7 @@
 
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "check/check.hh"
 #include "core/experiment.hh"
@@ -392,6 +393,9 @@ TEST(Chaos, SweepSurvivesFailedPointAndEmitsManifest)
     core::RunConfig base = chaosConfig();
     core::SweepOptions options;
     options.policy = chaosPolicy();
+    // A fault-armed sweep must run serially: plans are per-thread and
+    // would not reach pool workers (pin past any ABSIM_JOBS setting).
+    options.jobs = 1;
     const auto result = core::sweepFigureSafe(
         "chaos sweep", base, net::TopologyKind::Full,
         core::Metric::ExecTime, {1, 2, 4}, options);
@@ -415,6 +419,36 @@ TEST(Chaos, SweepSurvivesFailedPointAndEmitsManifest)
     EXPECT_NE(figure_json.str().find("\"complete\":false"),
               std::string::npos)
         << figure_json.str();
+}
+
+TEST(Chaos, FaultPlanIsConfinedToTheThreadThatArmedIt)
+{
+    // Two concurrent simulations: one thread arms a wedge plan and must
+    // fail; the other runs clean and must succeed, no matter how the
+    // two interleave.  This is the isolation contract of the per-thread
+    // injector (fault::injector()) and core::RunContext.
+    core::RunResult faulty = core::RunError{};
+    core::RunResult clean = core::RunError{};
+
+    std::thread chaos_thread([&] {
+        fault::ScopedPlan scoped(fault::Plan::parse("wedge@50:node=1"));
+        faulty = core::runOneSafe(chaosConfig(), chaosPolicy());
+        // The latched firing state stays visible on this thread.
+        EXPECT_EQ(fault::injector().fired(fault::Kind::WedgeFiber), 1u);
+    });
+    std::thread clean_thread([&] {
+        EXPECT_FALSE(fault::armed());
+        clean = core::runOneSafe(chaosConfig(), chaosPolicy());
+        EXPECT_EQ(fault::injector().fired(fault::Kind::WedgeFiber), 0u);
+    });
+    chaos_thread.join();
+    clean_thread.join();
+
+    EXPECT_FALSE(faulty.ok());
+    ASSERT_TRUE(clean.ok());
+    EXPECT_GT(clean.value().execTime(), 0u);
+    // The arming thread is gone; this thread never saw its plan.
+    EXPECT_FALSE(fault::armed());
 }
 
 } // namespace
