@@ -38,10 +38,11 @@ main(int argc, char **argv)
                     core::toString(metric),
                 base, topo, metric, procs);
 
+            // Classic machine order: target, logp, logp+c.
             std::vector<double> target, logpc;
             for (const auto &pt : figure.points) {
-                target.push_back(pt.target);
-                logpc.push_back(pt.logpc);
+                target.push_back(pt.values[0]);
+                logpc.push_back(pt.values[2]);
             }
             std::printf(
                 "%-10s %-5s %-11s trend(target,logp+c)=%+5.2f  "

@@ -28,6 +28,7 @@
 #include "core/experiment.hh"
 #include "core/figures.hh"
 #include "fault/fault.hh"
+#include "machines/registry.hh"
 
 using namespace absim;
 
@@ -36,12 +37,20 @@ namespace {
 void
 usage(std::FILE *out, const char *argv0)
 {
+    std::string machines;
+    for (const mach::MachineSpec &spec : mach::machineRegistry()) {
+        if (!spec.runnable)
+            continue;
+        if (!machines.empty())
+            machines += '|';
+        machines += spec.name;
+    }
     std::fprintf(
         out,
         "usage: %s [options]\n"
         "  --app NAME       ep|is|cg|cholesky|fft|stencil|radix|"
         "synthetic (default fft)\n"
-        "  --machine KIND   target|logp|logp+c (default target)\n"
+        "  --machine KIND   %s (default target)\n"
         "  --topo NAME      full|cube|mesh (default full)\n"
         "  --procs P        1..64 (default 8)\n"
         "  --size N         problem size (default: app-specific)\n"
@@ -69,7 +78,7 @@ usage(std::FILE *out, const char *argv0)
         "                   three-machine figure\n"
         "  --jobs N         sweep worker threads (default 1; output is\n"
         "                   identical for any value)\n",
-        argv0);
+        argv0, machines.c_str());
 }
 
 [[noreturn]] void
@@ -153,15 +162,12 @@ main(int argc, char **argv)
             config.app = v;
         } else if (arg == "--machine") {
             const std::string v = next(i);
-            if (v == "target")
-                config.machine = mach::MachineKind::Target;
-            else if (v == "logp")
-                config.machine = mach::MachineKind::LogP;
-            else if (v == "logp+c" || v == "logpc")
-                config.machine = mach::MachineKind::LogPC;
-            else
-                badFlag(argv0, "unknown machine '" + v +
-                                   "' (valid: target, logp, logp+c)");
+            mach::MachineKind kind = mach::MachineKind::None;
+            if (!mach::parseMachineKind(v, kind) ||
+                kind == mach::MachineKind::None)
+                badFlag(argv0, "unknown machine '" + v + "' (valid: " +
+                                   mach::machineNames() + ")");
+            config.machine = kind;
         } else if (arg == "--topo") {
             const std::string v = next(i);
             if (v == "full")

@@ -2,10 +2,11 @@
  * @file
  * Directory/cache coherence invariant checker.
  *
- * Both cached machine characterizations (the detailed target machine and
- * the LogP+C ideal coherent cache) perform Berkeley-protocol state
- * transitions; the paper's comparison is meaningful only if those
- * transitions are exact.  This checker verifies, block by block, the
+ * Both stateful memory models (mach::DirectoryMem, the real directory
+ * protocol behind target and logp+dir, and mach::IdealCacheMem, the
+ * ideal coherent cache behind logp+c and target+ic) perform
+ * Berkeley-protocol state transitions; the paper's comparison is
+ * meaningful only if those transitions are exact.  This checker verifies, block by block, the
  * invariants any ownership-based invalidation protocol must maintain at
  * transaction boundaries:
  *
@@ -16,10 +17,11 @@
  *    owned copy, and (for machines whose sharer bits are exact, like the
  *    LogP+C oracle) every sharer bit corresponds to a resident copy.
  *
- * The machines invoke checkBlock() after every protocol transition and
- * checkAll() at drain; both are no-ops when check::options().coherence
- * is off.  The checker reads machine state through two callbacks so it
- * depends only on src/mem, not on any machine model.
+ * The memory models invoke checkBlock() after every protocol transition
+ * and checkAll() at drain; both are no-ops when
+ * check::options().coherence is off.  The checker reads model state
+ * through two callbacks so it depends only on src/mem, not on any
+ * machine model.
  */
 
 #ifndef ABSIM_CHECK_COHERENCE_HH

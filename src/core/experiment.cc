@@ -10,9 +10,7 @@
 
 #include "check/check.hh"
 #include "core/run_context.hh"
-#include "machines/logp_c_machine.hh"
-#include "machines/logp_machine.hh"
-#include "machines/target_machine.hh"
+#include "machines/registry.hh"
 #include "runtime/context.hh"
 #include "runtime/shared.hh"
 #include "sim/event_queue.hh"
@@ -25,22 +23,12 @@ std::unique_ptr<mach::Machine>
 makeMachine(const RunConfig &config, sim::EventQueue &eq,
             const mem::HomeMap &homes)
 {
-    switch (config.machine) {
-      case mach::MachineKind::Target:
-        return std::make_unique<mach::TargetMachine>(
-            eq, config.topology, config.procs, homes, config.cache,
-            config.protocol);
-      case mach::MachineKind::LogP:
-        return std::make_unique<mach::LogPMachine>(
-            eq, config.topology, config.procs, homes, config.gapPolicy);
-      case mach::MachineKind::LogPC:
-        return std::make_unique<mach::LogPCMachine>(
-            eq, config.topology, config.procs, homes, config.gapPolicy,
-            config.cache);
-      case mach::MachineKind::None:
-        break; // Message-passing platforms are driven directly.
-    }
-    throw std::invalid_argument("unsupported machine kind");
+    // Registry-driven: any (network model x memory model) composition in
+    // the table — including the off-diagonal quadrants — runs through
+    // the same experiment machinery.  Throws for non-runnable kinds.
+    return mach::makeMachine(config.machine, eq, config.topology,
+                             config.procs, homes, config.gapPolicy,
+                             config.cache, config.protocol);
 }
 
 stats::Profile

@@ -2,12 +2,12 @@
 
 #include <cstdlib>
 #include <iomanip>
-#include <iterator>
 #include <map>
 #include <optional>
 #include <ostream>
 
 #include "core/journal.hh"
+#include "machines/registry.hh"
 
 namespace absim::core {
 
@@ -23,6 +23,24 @@ toString(Metric metric)
         return "contention";
     }
     return "?";
+}
+
+std::vector<mach::MachineKind>
+figureMachines(const Figure &figure)
+{
+    if (figure.machines.empty())
+        return mach::defaultFigureMachines();
+    return figure.machines;
+}
+
+std::vector<std::string>
+machineColumns(const std::vector<mach::MachineKind> &machines)
+{
+    std::vector<std::string> columns;
+    columns.reserve(machines.size());
+    for (const mach::MachineKind kind : machines)
+        columns.emplace_back(mach::specFor(kind).column);
+    return columns;
 }
 
 std::vector<std::uint32_t>
@@ -45,16 +63,39 @@ metricValue(const stats::Profile &profile, Metric metric)
     return 0.0;
 }
 
+namespace {
+
+/** Resolve the empty machine-list default in one place. */
+std::vector<mach::MachineKind>
+resolveMachines(const std::vector<mach::MachineKind> &machines)
+{
+    if (machines.empty())
+        return mach::defaultFigureMachines();
+    return machines;
+}
+
+/** True if @p machines is the classic trio (whose journals stay in the
+ *  legacy header layout for byte-compatible resume). */
+bool
+isDefaultMachineSet(const std::vector<mach::MachineKind> &machines)
+{
+    return machines == mach::defaultFigureMachines();
+}
+
+} // namespace
+
 Figure
 sweepFigure(const std::string &title, const RunConfig &base,
             net::TopologyKind topology, Metric metric,
-            const std::vector<std::uint32_t> &proc_counts)
+            const std::vector<std::uint32_t> &proc_counts,
+            const std::vector<mach::MachineKind> &machines)
 {
     Figure figure;
     figure.title = title;
     figure.app = base.app;
     figure.topology = topology;
     figure.metric = metric;
+    figure.machines = resolveMachines(machines);
 
     for (const std::uint32_t p : proc_counts) {
         SeriesPoint point;
@@ -63,34 +104,16 @@ sweepFigure(const std::string &title, const RunConfig &base,
         config.topology = topology;
         config.procs = p;
 
-        config.machine = mach::MachineKind::Target;
-        point.target = metricValue(runOne(config), metric);
-        config.machine = mach::MachineKind::LogP;
-        point.logp = metricValue(runOne(config), metric);
-        config.machine = mach::MachineKind::LogPC;
-        point.logpc = metricValue(runOne(config), metric);
-
-        figure.points.push_back(point);
+        for (const mach::MachineKind kind : figure.machines) {
+            config.machine = kind;
+            point.values.push_back(metricValue(runOne(config), metric));
+        }
+        figure.points.push_back(std::move(point));
     }
     return figure;
 }
 
 namespace {
-
-struct MachineRun
-{
-    mach::MachineKind kind;
-    const char *name;
-    double SeriesPoint::*slot;
-};
-
-constexpr MachineRun kMachines[] = {
-    {mach::MachineKind::Target, "target", &SeriesPoint::target},
-    {mach::MachineKind::LogP, "logp", &SeriesPoint::logp},
-    {mach::MachineKind::LogPC, "logp+c", &SeriesPoint::logpc},
-};
-
-constexpr std::size_t kMachineCount = std::size(kMachines);
 
 /** What one sweep point produced: a complete SeriesPoint, or the
  *  per-machine failures that kept it out of the curve. */
@@ -132,28 +155,39 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
                     const std::vector<std::uint32_t> &proc_counts,
                     const SweepOptions &options)
 {
+    const std::vector<mach::MachineKind> machines =
+        resolveMachines(options.machines);
+    const std::vector<std::string> columns = machineColumns(machines);
+    const std::size_t machine_count = machines.size();
+
     SweepResult result;
     result.figure.title = title;
     result.figure.app = base.app;
     result.figure.topology = topology;
     result.figure.metric = metric;
+    result.figure.machines = machines;
 
-    // Resume: replay every point the journal already holds.
-    const JournalHeader header{title, base.app, net::toString(topology),
-                               toString(metric)};
+    // Resume: replay every point the journal already holds.  Journals
+    // for the classic trio keep the legacy header (no machine list) so
+    // existing checkpoints stay resumable; any other machine set is
+    // stamped into the header and never resumes a mismatched sweep.
+    JournalHeader header{title, base.app, net::toString(topology),
+                         toString(metric), {}};
+    if (!isDefaultMachineSet(machines))
+        header.machines = columns;
     const bool journaling = !options.journalPath.empty();
     std::map<std::uint32_t, SeriesPoint> done;
     std::map<std::uint32_t, std::vector<FailedPoint>> failed;
     if (journaling) {
         std::vector<JournalRecord> records;
-        if (loadJournal(options.journalPath, header, records)) {
-            for (const JournalRecord &r : records) {
+        if (loadJournal(options.journalPath, header, columns, records)) {
+            for (JournalRecord &r : records) {
                 if (r.failed) {
                     failed[r.procs].push_back(FailedPoint{
                         r.procs, r.machine, r.error, r.message});
                 } else {
-                    done[r.procs] = SeriesPoint{r.procs, r.target,
-                                                r.logp, r.logpc};
+                    done[r.procs] =
+                        SeriesPoint{r.procs, std::move(r.values)};
                 }
             }
         } else {
@@ -170,13 +204,13 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
             pending.push_back(p);
 
     std::vector<RunConfig> configs;
-    configs.reserve(pending.size() * kMachineCount);
+    configs.reserve(pending.size() * machine_count);
     for (const std::uint32_t p : pending) {
         RunConfig config = base;
         config.topology = topology;
         config.procs = p;
-        for (const MachineRun &m : kMachines) {
-            config.machine = m.kind;
+        for (const mach::MachineKind kind : machines) {
+            config.machine = kind;
             configs.push_back(config);
         }
     }
@@ -184,10 +218,10 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
     std::vector<std::optional<PointOutcome>> outcomes(pending.size());
 
     // Completion bookkeeping (serialized by runManySafe's callback
-    // mutex): assemble a point once its three runs are in, and commit
-    // journal records through an in-order frontier so the journal's
-    // bytes — and its crash-safe prefix property — match the serial
-    // sweep's exactly, whatever order the pool finishes in.
+    // mutex): assemble a point once all its machine runs are in, and
+    // commit journal records through an in-order frontier so the
+    // journal's bytes — and its crash-safe prefix property — match the
+    // serial sweep's exactly, whatever order the pool finishes in.
     std::vector<std::optional<RunResult>> collected(configs.size());
     std::vector<std::size_t> runsDone(pending.size(), 0);
     std::size_t frontier = 0;
@@ -195,14 +229,15 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
     auto assemblePoint = [&](std::size_t idx) {
         PointOutcome outcome;
         outcome.point.procs = pending[idx];
-        for (std::size_t mi = 0; mi < kMachineCount; ++mi) {
-            const RunResult &run = *collected[idx * kMachineCount + mi];
+        outcome.point.values.assign(machine_count, 0.0);
+        for (std::size_t mi = 0; mi < machine_count; ++mi) {
+            const RunResult &run = *collected[idx * machine_count + mi];
             if (run.ok())
-                outcome.point.*(kMachines[mi].slot) =
+                outcome.point.values[mi] =
                     metricValue(run.value(), metric);
             else
                 outcome.failures.push_back(FailedPoint{
-                    pending[idx], kMachines[mi].name,
+                    pending[idx], mach::specFor(machines[mi]).name,
                     toString(run.error().kind), run.error().message});
         }
         return outcome;
@@ -215,31 +250,30 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
         if (outcome.failures.empty()) {
             appendJournal(options.journalPath,
                           JournalRecord{outcome.point.procs, false,
-                                        outcome.point.target,
-                                        outcome.point.logp,
-                                        outcome.point.logpc, "", "", ""});
+                                        outcome.point.values, "", "", ""},
+                          columns);
         } else {
             for (const FailedPoint &f : outcome.failures)
                 appendJournal(options.journalPath,
-                              JournalRecord{f.procs, true, 0.0, 0.0, 0.0,
-                                            f.machine, f.error,
-                                            f.message});
+                              JournalRecord{f.procs, true, {}, f.machine,
+                                            f.error, f.message},
+                              columns);
         }
     };
 
     const RunManyCallback onResult = [&](std::size_t i,
                                          const RunResult &run) {
         collected[i] = run;
-        const std::size_t idx = i / kMachineCount;
-        if (++runsDone[idx] < kMachineCount)
+        const std::size_t idx = i / machine_count;
+        if (++runsDone[idx] < machine_count)
             return;
         outcomes[idx] = assemblePoint(idx);
         // Release the per-run results as the frontier passes: a long
         // sweep holds at most the out-of-order window's profiles.
         while (frontier < pending.size() && outcomes[frontier]) {
             commitPoint(frontier);
-            for (std::size_t mi = 0; mi < kMachineCount; ++mi)
-                collected[frontier * kMachineCount + mi].reset();
+            for (std::size_t mi = 0; mi < machine_count; ++mi)
+                collected[frontier * machine_count + mi].reset();
             ++frontier;
         }
     };
@@ -276,17 +310,22 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
 void
 printFigure(std::ostream &os, const Figure &figure)
 {
+    const std::vector<mach::MachineKind> machines = figureMachines(figure);
     os << "# " << figure.title << "\n"
        << "# app=" << figure.app
        << " network=" << net::toString(figure.topology)
        << " metric=" << toString(figure.metric) << " (us)\n"
-       << std::setw(6) << "procs" << std::setw(16) << "target"
-       << std::setw(16) << "logp" << std::setw(16) << "logp+c" << "\n";
+       << std::setw(6) << "procs";
+    for (const mach::MachineKind kind : machines)
+        os << std::setw(16) << mach::specFor(kind).name;
+    os << "\n";
     os << std::fixed << std::setprecision(1);
     for (const SeriesPoint &pt : figure.points) {
-        os << std::setw(6) << pt.procs << std::setw(16) << pt.target
-           << std::setw(16) << pt.logp << std::setw(16) << pt.logpc
-           << "\n";
+        os << std::setw(6) << pt.procs;
+        for (std::size_t i = 0; i < machines.size(); ++i)
+            os << std::setw(16)
+               << (i < pt.values.size() ? pt.values[i] : 0.0);
+        os << "\n";
     }
     os.unsetf(std::ios::fixed);
     os << std::setprecision(6);
@@ -295,11 +334,18 @@ printFigure(std::ostream &os, const Figure &figure)
 void
 writeFigureCsv(std::ostream &os, const Figure &figure)
 {
-    os << "# " << figure.title << "\n"
-       << "procs,target,logp,logpc\n";
-    for (const SeriesPoint &pt : figure.points)
-        os << pt.procs << ',' << pt.target << ',' << pt.logp << ','
-           << pt.logpc << "\n";
+    const std::vector<std::string> columns =
+        machineColumns(figureMachines(figure));
+    os << "# " << figure.title << "\n" << "procs";
+    for (const std::string &column : columns)
+        os << ',' << column;
+    os << "\n";
+    for (const SeriesPoint &pt : figure.points) {
+        os << pt.procs;
+        for (std::size_t i = 0; i < columns.size(); ++i)
+            os << ',' << (i < pt.values.size() ? pt.values[i] : 0.0);
+        os << "\n";
+    }
 }
 
 namespace {
@@ -335,17 +381,19 @@ void
 writeFigureJson(std::ostream &os, const SweepResult &result)
 {
     const Figure &figure = result.figure;
+    const std::vector<std::string> columns =
+        machineColumns(figureMachines(figure));
     os << "{\n  ";
     writeFigureMeta(os, figure);
     os << ",\n  \"complete\":" << (result.complete() ? "true" : "false");
     os << ",\n  \"points\":[";
     for (std::size_t i = 0; i < figure.points.size(); ++i) {
         const SeriesPoint &pt = figure.points[i];
-        os << (i != 0 ? ",\n    " : "\n    ")
-           << "{\"procs\":" << pt.procs
-           << ",\"target\":" << formatDouble(pt.target)
-           << ",\"logp\":" << formatDouble(pt.logp)
-           << ",\"logpc\":" << formatDouble(pt.logpc) << "}";
+        os << (i != 0 ? ",\n    " : "\n    ") << "{\"procs\":" << pt.procs;
+        for (std::size_t c = 0; c < columns.size(); ++c)
+            os << ",\"" << columns[c] << "\":"
+               << formatDouble(c < pt.values.size() ? pt.values[c] : 0.0);
+        os << "}";
     }
     os << (figure.points.empty() ? "]" : "\n  ]") << ",\n  ";
     writeFailureArray(os, result.failures);

@@ -6,6 +6,12 @@
  * (execution time, latency overhead, or contention overhead) against the
  * processor count, with one curve per machine characterization.  This
  * header provides the sweep and the printer the bench binaries share.
+ *
+ * The machine set is parameterized: the classic figures sweep the
+ * paper's three machines (target, logp, logp+c — the default), while
+ * the quadrant ablation sweeps all five registry compositions through
+ * the same engine.  Column order follows the machine list everywhere
+ * (figure points, CSV, JSON, journal records).
  */
 
 #ifndef ABSIM_CORE_FIGURES_HH
@@ -29,13 +35,12 @@ enum class Metric
 
 std::string toString(Metric metric);
 
-/** One point of a figure: the metric for all three machines at P. */
+/** One point of a figure: the metric for every swept machine at P,
+ *  in the figure's machine order. */
 struct SeriesPoint
 {
     std::uint32_t procs = 0;
-    double target = 0.0;
-    double logp = 0.0;
-    double logpc = 0.0;
+    std::vector<double> values;
 };
 
 /** A complete figure. */
@@ -45,8 +50,21 @@ struct Figure
     std::string app;
     net::TopologyKind topology = net::TopologyKind::Full;
     Metric metric = Metric::ExecTime;
+
+    /** Swept machines, one per value column.  Empty means the paper's
+     *  classic trio (target, logp, logp+c). */
+    std::vector<mach::MachineKind> machines;
+
     std::vector<SeriesPoint> points;
 };
+
+/** @p figure's machine list with the empty default resolved. */
+std::vector<mach::MachineKind> figureMachines(const Figure &figure);
+
+/** The JSON/CSV/journal column keys for @p machines (registry column
+ *  names, e.g. "logpc"). */
+std::vector<std::string>
+machineColumns(const std::vector<mach::MachineKind> &machines);
 
 /** The processor counts the benches sweep (paper: powers of two). */
 std::vector<std::uint32_t> defaultProcCounts();
@@ -55,7 +73,8 @@ std::vector<std::uint32_t> defaultProcCounts();
 double metricValue(const stats::Profile &profile, Metric metric);
 
 /**
- * Run the sweep for one figure: the three machines at each P.
+ * Run the sweep for one figure: every machine in @p machines at each P
+ * (empty = the classic trio).
  *
  * The raw sweep: any failed point aborts the whole figure by
  * exception.  Prefer sweepFigureSafe() for anything long-running.
@@ -64,13 +83,14 @@ double metricValue(const stats::Profile &profile, Metric metric);
  */
 Figure sweepFigure(const std::string &title, const RunConfig &base,
                    net::TopologyKind topology, Metric metric,
-                   const std::vector<std::uint32_t> &proc_counts);
+                   const std::vector<std::uint32_t> &proc_counts,
+                   const std::vector<mach::MachineKind> &machines = {});
 
 /** One point (or machine run) the resilient sweep could not produce. */
 struct FailedPoint
 {
     std::uint32_t procs = 0;
-    std::string machine; ///< "target", "logp" or "logp+c".
+    std::string machine; ///< Canonical machine name, e.g. "logp+c".
     std::string error;   ///< RunErrorKind name.
     std::string message; ///< One-line summary.
 };
@@ -110,6 +130,14 @@ struct SweepOptions
      * and do not propagate to pool workers.
      */
     unsigned jobs = 0;
+
+    /**
+     * Machines to sweep, in column order.  Empty (the default) means
+     * the paper's classic trio; journals written for a non-default set
+     * carry the machine list in their header, so a journal never
+     * resumes a sweep with different columns.
+     */
+    std::vector<mach::MachineKind> machines;
 };
 
 /**
@@ -144,7 +172,7 @@ SweepResult sweepFigureParallel(const std::string &title,
 /** Print the figure in the benches' common tabular format. */
 void printFigure(std::ostream &os, const Figure &figure);
 
-/** Write the figure as CSV (procs,target,logp,logpc with a header). */
+/** Write the figure as CSV (procs plus one column per machine). */
 void writeFigureCsv(std::ostream &os, const Figure &figure);
 
 /**

@@ -6,6 +6,14 @@
 
 namespace absim::core {
 
+const std::vector<std::string> &
+defaultJournalColumns()
+{
+    static const std::vector<std::string> columns = {"target", "logp",
+                                                     "logpc"};
+    return columns;
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -168,19 +176,75 @@ extractUint(const std::string &line, const std::string &key,
     return end != nullptr && *end == '\0';
 }
 
+/**
+ * Parse the header's optional "machines":["a","b",...] array.  Returns
+ * true with an empty @p out when the field is absent (classic layout).
+ */
+bool
+extractStringArray(const std::string &line, const std::string &key,
+                   std::vector<std::string> &out)
+{
+    out.clear();
+    const std::string needle = "\"" + key + "\":[";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return true;
+    std::size_t i = pos + needle.size();
+    if (i < line.size() && line[i] == ']')
+        return true;
+    while (i < line.size()) {
+        if (line[i] != '"')
+            return false;
+        std::string raw;
+        for (++i; i < line.size() && line[i] != '"'; ++i) {
+            if (line[i] == '\\' && i + 1 < line.size()) {
+                raw += line[i];
+                raw += line[i + 1];
+                ++i;
+            } else {
+                raw += line[i];
+            }
+        }
+        if (i >= line.size())
+            return false; // Unterminated string: torn line.
+        out.push_back(jsonUnescape(raw));
+        ++i; // Past the closing quote.
+        if (i < line.size() && line[i] == ',') {
+            ++i;
+            continue;
+        }
+        return i < line.size() && line[i] == ']';
+    }
+    return false;
+}
+
 std::string
 encodeHeader(const JournalHeader &header)
 {
-    return "{\"absim_journal\":1,\"title\":\"" + jsonEscape(header.title) +
-           "\",\"app\":\"" + jsonEscape(header.app) +
-           "\",\"topology\":\"" + jsonEscape(header.topology) +
-           "\",\"metric\":\"" + jsonEscape(header.metric) + "\"}";
+    std::string out =
+        "{\"absim_journal\":1,\"title\":\"" + jsonEscape(header.title) +
+        "\",\"app\":\"" + jsonEscape(header.app) + "\",\"topology\":\"" +
+        jsonEscape(header.topology) + "\",\"metric\":\"" +
+        jsonEscape(header.metric) + "\"";
+    // The classic trio keeps the legacy header line (no machine list)
+    // so pre-existing journals remain resumable byte-for-byte.
+    if (!header.machines.empty()) {
+        out += ",\"machines\":[";
+        for (std::size_t i = 0; i < header.machines.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            out += "\"" + jsonEscape(header.machines[i]) + "\"";
+        }
+        out += "]";
+    }
+    return out + "}";
 }
 
 } // namespace
 
 std::string
-encodeRecord(const JournalRecord &record)
+encodeRecord(const JournalRecord &record,
+             const std::vector<std::string> &columns)
 {
     std::string out = "{\"procs\":" + std::to_string(record.procs);
     if (record.failed) {
@@ -188,15 +252,18 @@ encodeRecord(const JournalRecord &record)
                "\",\"error\":\"" + jsonEscape(record.error) +
                "\",\"message\":\"" + jsonEscape(record.message) + "\"";
     } else {
-        out += ",\"target\":" + formatDouble(record.target) +
-               ",\"logp\":" + formatDouble(record.logp) +
-               ",\"logpc\":" + formatDouble(record.logpc);
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            const double v =
+                i < record.values.size() ? record.values[i] : 0.0;
+            out += ",\"" + columns[i] + "\":" + formatDouble(v);
+        }
     }
     return out + "}";
 }
 
 bool
-decodeRecord(const std::string &line, JournalRecord &out)
+decodeRecord(const std::string &line, JournalRecord &out,
+             const std::vector<std::string> &columns)
 {
     if (line.empty() || line.front() != '{' || line.back() != '}')
         return false;
@@ -210,13 +277,16 @@ decodeRecord(const std::string &line, JournalRecord &out)
         return extractString(line, "machine", out.machine) &&
                extractString(line, "message", out.message);
     }
-    return extractDouble(line, "target", out.target) &&
-           extractDouble(line, "logp", out.logp) &&
-           extractDouble(line, "logpc", out.logpc);
+    out.values.assign(columns.size(), 0.0);
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        if (!extractDouble(line, columns[i], out.values[i]))
+            return false;
+    return true;
 }
 
 bool
 loadJournal(const std::string &path, const JournalHeader &expect,
+            const std::vector<std::string> &columns,
             std::vector<JournalRecord> &out)
 {
     out.clear();
@@ -232,15 +302,23 @@ loadJournal(const std::string &path, const JournalHeader &expect,
         !extractString(line, "app", found.app) ||
         !extractString(line, "topology", found.topology) ||
         !extractString(line, "metric", found.metric) ||
+        !extractStringArray(line, "machines", found.machines) ||
         !(found == expect))
         return false;
     while (std::getline(in, line)) {
         JournalRecord record;
-        if (!decodeRecord(line, record))
+        if (!decodeRecord(line, record, columns))
             break; // Torn trailing write: drop it and everything after.
         out.push_back(std::move(record));
     }
     return true;
+}
+
+bool
+loadJournal(const std::string &path, const JournalHeader &expect,
+            std::vector<JournalRecord> &out)
+{
+    return loadJournal(path, expect, defaultJournalColumns(), out);
 }
 
 void
@@ -251,10 +329,11 @@ startJournal(const std::string &path, const JournalHeader &header)
 }
 
 void
-appendJournal(const std::string &path, const JournalRecord &record)
+appendJournal(const std::string &path, const JournalRecord &record,
+              const std::vector<std::string> &columns)
 {
     std::ofstream out(path, std::ios::app);
-    out << encodeRecord(record) << "\n" << std::flush;
+    out << encodeRecord(record, columns) << "\n" << std::flush;
 }
 
 } // namespace absim::core

@@ -18,12 +18,19 @@
  *   {"procs":8,"target":1.25e+03,"logp":...,"logpc":...}
  *   {"procs":16,"machine":"logp","error":"Deadlock","message":"..."}
  *
+ * Success records carry one numeric field per swept machine, keyed by
+ * the machine's registry column name.  Sweeps of the classic trio
+ * (target, logp, logp+c) use exactly the layout above; a sweep of any
+ * other machine set adds a "machines" array to its header line, so a
+ * journal can never resume a sweep with different columns.
+ *
  * The first line identifies the sweep; a journal whose header does not
  * match the running sweep is ignored and rewritten (it belongs to a
  * different figure or an older layout).  A torn trailing line (the
  * process died mid-write) is discarded along with anything after it.
  * The parser handles exactly what the encoder emits — flat objects of
- * string and number fields — not general JSON.
+ * string and number fields plus the header's string array — not
+ * general JSON.
  */
 
 #ifndef ABSIM_CORE_JOURNAL_HH
@@ -35,6 +42,10 @@
 
 namespace absim::core {
 
+/** The classic trio's record columns, the layout every journal used
+ *  before machine sets became configurable. */
+const std::vector<std::string> &defaultJournalColumns();
+
 /** Identity of the sweep a journal belongs to. */
 struct JournalHeader
 {
@@ -43,20 +54,22 @@ struct JournalHeader
     std::string topology;
     std::string metric;
 
+    /** Column names of the swept machines; empty for the classic trio
+     *  (kept out of the header line for byte-compatibility). */
+    std::vector<std::string> machines;
+
     bool operator==(const JournalHeader &other) const = default;
 };
 
-/** One journaled point: either three machine values or one failure. */
+/** One journaled point: per-machine values or one failure. */
 struct JournalRecord
 {
     std::uint32_t procs = 0;
 
     bool failed = false;
 
-    /** Success payload (failed == false). */
-    double target = 0.0;
-    double logp = 0.0;
-    double logpc = 0.0;
+    /** Success payload (failed == false), in sweep column order. */
+    std::vector<double> values;
 
     /** Failure payload (failed == true). */
     std::string machine; ///< Which machine's run failed.
@@ -73,14 +86,23 @@ std::string jsonUnescape(const std::string &s);
 /** Format a double so it round-trips exactly ("%.17g"). */
 std::string formatDouble(double value);
 
-/** Render one record as its journal line (no trailing newline). */
-std::string encodeRecord(const JournalRecord &record);
+/**
+ * Render one record as its journal line (no trailing newline).
+ * Success records emit record.values keyed by @p columns (the two must
+ * be the same length).
+ */
+std::string encodeRecord(const JournalRecord &record,
+                         const std::vector<std::string> &columns =
+                             defaultJournalColumns());
 
 /**
- * Parse one journal line.
+ * Parse one journal line; success records must carry every column in
+ * @p columns.
  * @return false if the line is malformed (e.g. torn by a crash).
  */
-bool decodeRecord(const std::string &line, JournalRecord &out);
+bool decodeRecord(const std::string &line, JournalRecord &out,
+                  const std::vector<std::string> &columns =
+                      defaultJournalColumns());
 
 /**
  * Load a journal.
@@ -90,13 +112,20 @@ bool decodeRecord(const std::string &line, JournalRecord &out);
  *         Parsing stops at the first malformed line.
  */
 bool loadJournal(const std::string &path, const JournalHeader &expect,
+                 const std::vector<std::string> &columns,
+                 std::vector<JournalRecord> &out);
+
+/** Classic-trio overload of loadJournal. */
+bool loadJournal(const std::string &path, const JournalHeader &expect,
                  std::vector<JournalRecord> &out);
 
 /** Create/truncate the journal and write its header line. */
 void startJournal(const std::string &path, const JournalHeader &header);
 
 /** Append one record and flush (the checkpoint write). */
-void appendJournal(const std::string &path, const JournalRecord &record);
+void appendJournal(const std::string &path, const JournalRecord &record,
+                   const std::vector<std::string> &columns =
+                       defaultJournalColumns());
 
 } // namespace absim::core
 

@@ -49,7 +49,9 @@ struct LogPStats
  * Unlike DetailedNetwork, nothing here blocks: timing is computed by
  * reserving gate slots (possibly in the future) and the *caller* sleeps
  * until the result's deliveredAt.  This keeps the LogP machines cheap to
- * simulate — which is the whole point of the abstraction.
+ * simulate — which is the whole point of the abstraction.  Machine
+ * compositions reach it through mach::LogPNetModel (the "logp" rows of
+ * the registry grid: logp, logp+c, logp+dir); see docs/MACHINES.md.
  */
 class LogPNetwork
 {

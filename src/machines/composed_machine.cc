@@ -1,0 +1,28 @@
+#include "machines/composed_machine.hh"
+
+#include "check/check.hh"
+
+namespace absim::mach {
+
+ComposedMachine::ComposedMachine(MachineKind kind, std::uint32_t nodes,
+                                 const mem::HomeMap &homes,
+                                 const NetFactory &make_net,
+                                 const MemFactory &make_mem)
+    : Machine(nodes, homes), kind_(kind), net_model_(make_net()),
+      mem_model_(make_mem(*net_model_, stats_))
+{
+    ABSIM_CHECK(net_model_ && mem_model_,
+                "composed machine " << toString(kind)
+                                    << " is missing a model");
+}
+
+AccessTiming
+ComposedMachine::access(MemClient &client, mem::Addr addr, AccessType type,
+                        std::uint32_t bytes)
+{
+    const AccessTiming t = mem_model_->access(client, addr, type, bytes);
+    stats_.memTime += t.busy;
+    return t;
+}
+
+} // namespace absim::mach

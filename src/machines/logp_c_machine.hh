@@ -1,90 +1,66 @@
 /**
  * @file
  * The LogP+C machine (paper Section 3.2): the LogP network abstraction
- * augmented with an *ideal coherent cache* per node.
+ * augmented with an *ideal coherent cache* per node (see ideal_mem.hh
+ * for the cache semantics).
  *
- * Each node has the same 64 KB 2-way cache geometry as the target machine
- * and the caches go through the same Berkeley state transitions — but the
- * overheads of coherence maintenance are not modeled: invalidations,
- * ownership transfers and writebacks are instantaneous and free.  Network
- * round trips are charged only when a request cannot be satisfied by the
- * cache or local memory (a miss whose data lives remotely), so the model
- * captures the application's true communication — the minimum message
- * count any invalidation protocol could hope to achieve.
+ * Composition: LogPNetModel x IdealCacheMem.  This class only pins the
+ * composition and exposes typed accessors for tests.
  */
 
 #ifndef ABSIM_MACHINES_LOGP_C_MACHINE_HH
 #define ABSIM_MACHINES_LOGP_C_MACHINE_HH
 
-#include <memory>
-#include <unordered_map>
-#include <vector>
-
-#include "check/coherence.hh"
-#include "logp/logp_net.hh"
-#include "machines/machine.hh"
-#include "mem/cache.hh"
-#include "sim/event_queue.hh"
+#include "machines/composed_machine.hh"
+#include "machines/ideal_mem.hh"
 
 namespace absim::mach {
 
-class LogPCMachine : public Machine
+class LogPCMachine : public ComposedMachine
 {
   public:
     /** Zero-cost global coherence bookkeeping for one block. */
-    struct OracleEntry
-    {
-        std::uint64_t sharers = 0;
-        std::int32_t owner = -1;
-    };
+    using OracleEntry = IdealCacheMem::OracleEntry;
 
     LogPCMachine(sim::EventQueue &eq, net::TopologyKind topo,
                  std::uint32_t nodes, const mem::HomeMap &homes,
                  logp::GapPolicy policy = logp::GapPolicy::Single,
                  const CacheConfig &cache_config = {});
 
-    AccessTiming access(MemClient &client, mem::Addr addr, AccessType type,
-                        std::uint32_t bytes) override;
-
-    MachineKind kind() const override { return MachineKind::LogPC; }
-
-    /** Full SWMR + oracle-agreement sweep.  The oracle bookkeeping is
-     *  exact (no silent stale bits), so the sweep is strict. */
-    void checkInvariants() const override { checker_.checkAll(); }
-
-    const logp::LogPNetwork &network() const { return *net_; }
+    const logp::LogPNetwork &network() const
+    {
+        return static_cast<const LogPNetModel &>(netModel()).network();
+    }
     const mem::SetAssocCache &cache(net::NodeId n) const
     {
-        return *caches_[n];
+        return idealMem().cache(n);
     }
-    const check::CoherenceChecker &checker() const { return checker_; }
+    const check::CoherenceChecker &checker() const
+    {
+        return idealMem().checker();
+    }
 
-    /** @name Test-only hooks.
-     *
-     * Mutable access to the caches and the coherence oracle so tests can
-     * drive them into inconsistent states and prove the checker fires.
-     * Never call these from simulation code.
-     */
+    /** @name Test-only hooks (see IdealCacheMem). */
     /// @{
-    mem::SetAssocCache &cacheForTest(net::NodeId n) { return *caches_[n]; }
-    OracleEntry &oracleForTest(mem::BlockId blk) { return entryOf(blk); }
+    mem::SetAssocCache &cacheForTest(net::NodeId n)
+    {
+        return idealMem().cacheForTest(n);
+    }
+    OracleEntry &oracleForTest(mem::BlockId blk)
+    {
+        return idealMem().oracleForTest(blk);
+    }
     /// @}
 
   private:
-    OracleEntry &entryOf(mem::BlockId blk) { return oracle_[blk]; }
-
-    /** Silent, free eviction of the LRU victim (data teleports home). */
-    void makeRoom(net::NodeId node, mem::BlockId blk);
-
-    /** Free, instantaneous invalidation of every sharer but @p node. */
-    void invalidateOthers(net::NodeId node, mem::BlockId blk,
-                          OracleEntry &entry);
-
-    sim::EventQueue &eq_;
-    std::unique_ptr<logp::LogPNetwork> net_;
-    std::vector<std::unique_ptr<mem::SetAssocCache>> caches_;
-    std::unordered_map<mem::BlockId, OracleEntry> oracle_;
-    check::CoherenceChecker checker_;
+    IdealCacheMem &idealMem()
+    {
+        return static_cast<IdealCacheMem &>(memModel());
+    }
+    const IdealCacheMem &idealMem() const
+    {
+        return static_cast<const IdealCacheMem &>(memModel());
+    }
 };
 
 } // namespace absim::mach

@@ -1,46 +1,21 @@
 #include "machines/logp_machine.hh"
 
-
-#include "sim/process.hh"
-
 namespace absim::mach {
 
 LogPMachine::LogPMachine(sim::EventQueue &eq, net::TopologyKind topo,
                          std::uint32_t nodes, const mem::HomeMap &homes,
                          logp::GapPolicy policy)
-    : Machine(nodes, homes), eq_(eq),
-      net_(std::make_unique<logp::LogPNetwork>(
-          logp::paramsFor(topo, nodes), policy))
+    : ComposedMachine(
+          MachineKind::LogP, nodes, homes,
+          [&] {
+              return std::make_unique<LogPNetModel>(eq, topo, nodes,
+                                                    policy);
+          },
+          [&](NetModel &net, MachineStats &stats) {
+              return std::make_unique<UncachedMem>(net, nodes, homes,
+                                                   stats);
+          })
 {
-}
-
-AccessTiming
-LogPMachine::access(MemClient &client, mem::Addr addr, AccessType type,
-                    std::uint32_t bytes)
-{
-    (void)type;
-    (void)bytes;
-    ++stats_.accesses;
-    const net::NodeId node = client.node();
-    const net::NodeId home = homes_.homeOf(addr);
-
-    AccessTiming t;
-    if (home == node) {
-        ++stats_.localMem;
-        t.busy = kLocalMemNs;
-        return t;
-    }
-
-    // Remote reference: request/reply round trip on the LogP network.
-    client.syncToEngine();
-    t.networked = true;
-    ++stats_.networkAccesses;
-    const logp::LogPTiming rt = net_->roundTrip(node, home, eq_.now());
-    stats_.messages += rt.messages;
-    t.latency = rt.latency;
-    t.contention = rt.contention;
-    sim::Process::current()->delayUntil(rt.deliveredAt);
-    return t;
 }
 
 } // namespace absim::mach

@@ -5,36 +5,28 @@
  * by the L and g parameters.  Every non-local reference is a
  * request/reply round trip on the LogP network, as on a NUMA machine
  * like the BBN Butterfly GP-1000.
+ *
+ * Composition: LogPNetModel x UncachedMem.
  */
 
 #ifndef ABSIM_MACHINES_LOGP_MACHINE_HH
 #define ABSIM_MACHINES_LOGP_MACHINE_HH
 
-#include <memory>
-
-#include "logp/logp_net.hh"
-#include "machines/machine.hh"
-#include "sim/event_queue.hh"
+#include "machines/composed_machine.hh"
 
 namespace absim::mach {
 
-class LogPMachine : public Machine
+class LogPMachine : public ComposedMachine
 {
   public:
     LogPMachine(sim::EventQueue &eq, net::TopologyKind topo,
                 std::uint32_t nodes, const mem::HomeMap &homes,
                 logp::GapPolicy policy = logp::GapPolicy::Single);
 
-    AccessTiming access(MemClient &client, mem::Addr addr, AccessType type,
-                        std::uint32_t bytes) override;
-
-    MachineKind kind() const override { return MachineKind::LogP; }
-
-    const logp::LogPNetwork &network() const { return *net_; }
-
-  private:
-    sim::EventQueue &eq_;
-    std::unique_ptr<logp::LogPNetwork> net_;
+    const logp::LogPNetwork &network() const
+    {
+        return static_cast<const LogPNetModel &>(netModel()).network();
+    }
 };
 
 } // namespace absim::mach

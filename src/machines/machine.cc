@@ -24,6 +24,10 @@ toString(MachineKind kind)
         return "logp";
       case MachineKind::LogPC:
         return "logp+c";
+      case MachineKind::TargetIC:
+        return "target+ic";
+      case MachineKind::LogPDir:
+        return "logp+dir";
       case MachineKind::None:
         return "none";
     }

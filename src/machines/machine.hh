@@ -24,13 +24,24 @@
 
 namespace absim::mach {
 
-/** Which machine characterization (Section 3 of the paper). */
+/**
+ * Which machine characterization (Section 3 of the paper, plus the two
+ * quadrants of the network x locality grid the paper does not build).
+ *
+ * Every shared-memory machine is a composition of one *network model*
+ * (the detailed circuit-switched interconnect, or LogP's L/o/g
+ * abstraction) with one *memory model* (Berkeley directory caches, the
+ * ideal coherent cache, or uncached home-node memory) — see
+ * machines/registry.hh for the composition table.
+ */
 enum class MachineKind
 {
-    Target, ///< Detailed network + Berkeley directory caches.
-    LogP,   ///< LogP network, no caches.
-    LogPC,  ///< LogP network + ideal coherent cache.
-    None,   ///< No shared memory (message-passing platforms).
+    Target,   ///< Detailed network + Berkeley directory caches.
+    LogP,     ///< LogP network, no caches.
+    LogPC,    ///< LogP network + ideal coherent cache.
+    TargetIC, ///< Detailed network + ideal coherent cache.
+    LogPDir,  ///< LogP network + real directory caches.
+    None,     ///< No shared memory (message-passing platforms).
 };
 
 std::string toString(MachineKind kind);
@@ -142,6 +153,11 @@ struct MachineStats
     std::uint64_t upgrades = 0;
     std::uint64_t invalidations = 0;  ///< Invalidation messages sent.
     std::uint64_t writebacks = 0;
+
+    /** Total local (cache / memory) time the memory model charged, in
+     *  ticks — the locality axis of the per-axis overhead attribution
+     *  (the network axis is the profile's latency + contention). */
+    sim::Duration memTime = 0;
 };
 
 /**
@@ -187,6 +203,18 @@ class Machine
         (void)seed;
         return false;
     }
+
+    /**
+     * @name Per-axis identity.
+     * Which model implements each abstraction axis ("detailed"/"logp"
+     * for the network, "directory"/"ideal"/"uncached" for the memory
+     * system); "none" on machines without that axis.  Stamped into the
+     * run profile so overhead attribution stays per-axis.
+     */
+    /// @{
+    virtual const char *netModelName() const { return "none"; }
+    virtual const char *memModelName() const { return "none"; }
+    /// @}
 
     const MachineStats &stats() const { return stats_; }
 

@@ -1,0 +1,33 @@
+#include "machines/mem_model.hh"
+
+namespace absim::mach {
+
+AccessTiming
+UncachedMem::access(MemClient &client, mem::Addr addr, AccessType type,
+                    std::uint32_t bytes)
+{
+    (void)type;
+    (void)bytes;
+    ++stats_.accesses;
+    const net::NodeId node = client.node();
+    const net::NodeId home = homes_.homeOf(addr);
+
+    AccessTiming t;
+    if (home == node) {
+        ++stats_.localMem;
+        t.busy = kLocalMemNs;
+        return t;
+    }
+
+    // Remote reference: request/reply round trip on the network.
+    client.syncToEngine();
+    t.networked = true;
+    ++stats_.networkAccesses;
+    const NetTiming rt = net_.roundTrip(node, home, kDataBytes);
+    stats_.messages += rt.messages;
+    t.latency = rt.latency;
+    t.contention = rt.contention;
+    return t;
+}
+
+} // namespace absim::mach

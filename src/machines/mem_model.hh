@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The locality axis of a machine characterization.
+ *
+ * A MemModel decides what a shared-memory access costs locally (cache
+ * hit, local memory) and which messages it must send, charging the
+ * transport to whatever NetModel it was composed with.  Three models
+ * exist:
+ *
+ *  - DirectoryMem (directory_mem.hh): per-node set-associative caches
+ *    kept coherent by a blocking-home invalidation directory protocol
+ *    (Berkeley or MSI) — every protocol message is charged.
+ *  - IdealCacheMem (ideal_mem.hh): the same cache geometry with *free*
+ *    coherence maintenance — only true data communication is charged
+ *    (the paper's ideal coherent cache).
+ *  - UncachedMem (below): no caches; every non-home reference is one
+ *    request/reply round trip (the plain LogP machine's memory system).
+ *
+ * Models mutate the MachineStats of the composition they belong to and
+ * call MemClient::syncToEngine() exactly once before their first
+ * blocking network operation of an access.
+ */
+
+#ifndef ABSIM_MACHINES_MEM_MODEL_HH
+#define ABSIM_MACHINES_MEM_MODEL_HH
+
+#include "machines/machine.hh"
+#include "machines/net_model.hh"
+
+namespace absim::mach {
+
+class MemModel
+{
+  public:
+    virtual ~MemModel() = default;
+
+    /** Axis identity: "directory", "ideal" or "uncached". */
+    virtual const char *name() const = 0;
+
+    /** Perform one access on behalf of @p client (Machine::access). */
+    virtual AccessTiming access(MemClient &client, mem::Addr addr,
+                                AccessType type, std::uint32_t bytes) = 0;
+
+    /** Full invariant sweep, if the model maintains protocol state. */
+    virtual void checkInvariants() const {}
+
+    /** Fault hook (Machine::corruptStateForFault semantics). */
+    virtual bool
+    corruptStateForFault(std::uint64_t seed)
+    {
+        (void)seed;
+        return false;
+    }
+
+  protected:
+    MemModel(NetModel &net, std::uint32_t nodes, const mem::HomeMap &homes,
+             MachineStats &stats)
+        : net_(net), nodes_(nodes), homes_(homes), stats_(stats)
+    {
+    }
+
+    NetModel &net_;
+    std::uint32_t nodes_;
+    const mem::HomeMap &homes_;
+    MachineStats &stats_;
+};
+
+/**
+ * No caches: each node owns a slice of the shared memory, every
+ * reference to another node's slice is a request/reply round trip
+ * (paper Section 3.1, as on the BBN Butterfly GP-1000).
+ */
+class UncachedMem : public MemModel
+{
+  public:
+    UncachedMem(NetModel &net, std::uint32_t nodes,
+                const mem::HomeMap &homes, MachineStats &stats)
+        : MemModel(net, nodes, homes, stats)
+    {
+    }
+
+    const char *name() const override { return "uncached"; }
+
+    AccessTiming access(MemClient &client, mem::Addr addr, AccessType type,
+                        std::uint32_t bytes) override;
+};
+
+} // namespace absim::mach
+
+#endif // ABSIM_MACHINES_MEM_MODEL_HH

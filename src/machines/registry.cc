@@ -1,0 +1,137 @@
+#include "machines/registry.hh"
+
+#include <stdexcept>
+
+#include "machines/composed_machine.hh"
+#include "machines/directory_mem.hh"
+#include "machines/ideal_mem.hh"
+#include "machines/logp_c_machine.hh"
+#include "machines/logp_machine.hh"
+#include "machines/target_machine.hh"
+
+namespace absim::mach {
+
+const std::vector<MachineSpec> &
+machineRegistry()
+{
+    static const std::vector<MachineSpec> table = {
+        {MachineKind::Target, "target", "target", "detailed", "directory",
+         "detailed network + Berkeley directory caches (the real machine)",
+         true},
+        {MachineKind::LogP, "logp", "logp", "logp", "uncached",
+         "LogP network, no caches (every remote reference is a round trip)",
+         true},
+        {MachineKind::LogPC, "logp+c", "logpc", "logp", "ideal",
+         "LogP network + ideal coherent cache (free coherence)", true},
+        {MachineKind::TargetIC, "target+ic", "targetic", "detailed",
+         "ideal",
+         "detailed network + ideal coherent cache (isolates locality "
+         "error)",
+         true},
+        {MachineKind::LogPDir, "logp+dir", "logpdir", "logp", "directory",
+         "LogP network + real directory caches (isolates network error)",
+         true},
+        {MachineKind::None, "none", "none", "none", "none",
+         "no shared memory (message-passing platforms)", false},
+    };
+    return table;
+}
+
+const MachineSpec &
+specFor(MachineKind kind)
+{
+    for (const MachineSpec &spec : machineRegistry())
+        if (spec.kind == kind)
+            return spec;
+    throw std::invalid_argument("machine kind missing from registry");
+}
+
+bool
+parseMachineKind(std::string_view text, MachineKind &out)
+{
+    for (const MachineSpec &spec : machineRegistry()) {
+        if (text == spec.name || text == spec.column) {
+            out = spec.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+machineNames()
+{
+    std::string names;
+    for (const MachineSpec &spec : machineRegistry()) {
+        if (!spec.runnable)
+            continue;
+        if (!names.empty())
+            names += ", ";
+        names += spec.name;
+    }
+    return names;
+}
+
+std::vector<MachineKind>
+defaultFigureMachines()
+{
+    return {MachineKind::Target, MachineKind::LogP, MachineKind::LogPC};
+}
+
+std::vector<MachineKind>
+allQuadrants()
+{
+    std::vector<MachineKind> kinds;
+    for (const MachineSpec &spec : machineRegistry())
+        if (spec.runnable)
+            kinds.push_back(spec.kind);
+    return kinds;
+}
+
+std::unique_ptr<Machine>
+makeMachine(MachineKind kind, sim::EventQueue &eq, net::TopologyKind topo,
+            std::uint32_t nodes, const mem::HomeMap &homes,
+            logp::GapPolicy policy, const CacheConfig &cache,
+            ProtocolKind protocol)
+{
+    switch (kind) {
+      case MachineKind::Target:
+        return std::make_unique<TargetMachine>(eq, topo, nodes, homes,
+                                               cache, protocol);
+      case MachineKind::LogP:
+        return std::make_unique<LogPMachine>(eq, topo, nodes, homes,
+                                             policy);
+      case MachineKind::LogPC:
+        return std::make_unique<LogPCMachine>(eq, topo, nodes, homes,
+                                              policy, cache);
+      case MachineKind::TargetIC:
+        // Off-diagonal quadrant: real network, ideal cache.
+        return std::make_unique<ComposedMachine>(
+            MachineKind::TargetIC, nodes, homes,
+            [&] {
+                return std::make_unique<DetailedNetModel>(eq, topo, nodes);
+            },
+            [&](NetModel &net, MachineStats &stats) {
+                return std::make_unique<IdealCacheMem>(
+                    net, nodes, homes, stats, cache, "target+ic");
+            });
+      case MachineKind::LogPDir:
+        // Off-diagonal quadrant: LogP network, real protocol.
+        return std::make_unique<ComposedMachine>(
+            MachineKind::LogPDir, nodes, homes,
+            [&] {
+                return std::make_unique<LogPNetModel>(eq, topo, nodes,
+                                                      policy);
+            },
+            [&](NetModel &net, MachineStats &stats) {
+                return std::make_unique<DirectoryMem>(
+                    eq, net, nodes, homes, stats, cache, protocol,
+                    "logp+dir");
+            });
+      case MachineKind::None:
+        break; // Message-passing platforms are driven directly.
+    }
+    throw std::invalid_argument("unsupported machine kind");
+}
+
+} // namespace absim::mach

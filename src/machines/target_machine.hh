@@ -5,31 +5,20 @@
  * invalidation-based (Berkeley) fully-mapped directory protocol, on top of
  * the detailed circuit-switched interconnect (paper Sections 3 and 5).
  *
- * Protocol style: *blocking home*.  Every miss/upgrade/writeback locks the
- * block's directory entry at its home node for the duration of the
- * transaction, which serializes conflicting transactions exactly like a
- * busy-bit blocking directory.  State transitions are applied at
- * transaction points while the lock is held; the network transfers inside
- * the transaction provide the timing (latency = contention-free
- * transmission, contention = link waits + home-occupancy waits).
+ * Composition: DetailedNetModel x DirectoryMem (see directory_mem.hh for
+ * the protocol and composed_machine.hh for the shell).  This class only
+ * pins the composition and exposes typed accessors for tests.
  */
 
 #ifndef ABSIM_MACHINES_TARGET_MACHINE_HH
 #define ABSIM_MACHINES_TARGET_MACHINE_HH
 
-#include <memory>
-#include <vector>
-
-#include "check/coherence.hh"
-#include "machines/machine.hh"
-#include "mem/cache.hh"
-#include "mem/directory.hh"
-#include "net/network.hh"
-#include "sim/event_queue.hh"
+#include "machines/composed_machine.hh"
+#include "machines/directory_mem.hh"
 
 namespace absim::mach {
 
-class TargetMachine : public Machine
+class TargetMachine : public ComposedMachine
 {
   public:
     /**
@@ -43,73 +32,36 @@ class TargetMachine : public Machine
                   const CacheConfig &cache_config = {},
                   ProtocolKind protocol = ProtocolKind::Berkeley);
 
-    AccessTiming access(MemClient &client, mem::Addr addr, AccessType type,
-                        std::uint32_t bytes) override;
-
-    MachineKind kind() const override { return MachineKind::Target; }
-
-    /** Full SWMR + directory-agreement sweep over every tracked block. */
-    void checkInvariants() const override { checker_.checkAll(); }
-
-    /**
-     * Chaos hook: flip one resident line's coherence state behind the
-     * directory's back (seed picks the line), then re-check the block
-     * so the corruption is caught at the very transition it models.
-     */
-    bool corruptStateForFault(std::uint64_t seed) override;
-
-    const net::DetailedNetwork &network() const { return *net_; }
-    ProtocolKind protocol() const { return protocol_; }
+    const net::DetailedNetwork &network() const
+    {
+        return static_cast<const DetailedNetModel &>(netModel()).network();
+    }
+    ProtocolKind protocol() const { return dirMem().protocol(); }
     const mem::SetAssocCache &cache(net::NodeId n) const
     {
-        return *caches_[n];
+        return dirMem().cache(n);
     }
-    const mem::Directory &directory() const { return dir_; }
-    const check::CoherenceChecker &checker() const { return checker_; }
+    const mem::Directory &directory() const { return dirMem().directory(); }
+    const check::CoherenceChecker &checker() const
+    {
+        return dirMem().checker();
+    }
 
-    /** @name Test-only hooks.
-     *
-     * Mutable access to protocol state so tests can deliberately drive
-     * the caches and directory into inconsistent states and prove the
-     * coherence checker fires.  Never call these from simulation code.
-     */
+    /** @name Test-only hooks (see DirectoryMem). */
     /// @{
-    mem::SetAssocCache &cacheForTest(net::NodeId n) { return *caches_[n]; }
-    mem::Directory &directoryForTest() { return dir_; }
+    mem::SetAssocCache &cacheForTest(net::NodeId n)
+    {
+        return dirMem().cacheForTest(n);
+    }
+    mem::Directory &directoryForTest() { return dirMem().directoryForTest(); }
     /// @}
 
   private:
-    /** One network hop with stats/latency bookkeeping; no-op if src==dst
-     *  (then @p local_cost is charged to busy instead). */
-    void hop(net::NodeId src, net::NodeId dst, std::uint32_t bytes,
-             AccessTiming &t);
-
-    /** Write the victim back to its home and update the directory. */
-    void writeback(net::NodeId node, mem::BlockId victim,
-                   mem::LineState state, AccessTiming &t);
-
-    /** Read-miss transaction (Berkeley: owner supplies if one exists). */
-    void readMiss(net::NodeId node, mem::BlockId blk, AccessTiming &t);
-
-    /** Write-miss / upgrade transaction: fetch data if needed, invalidate
-     *  all other copies, take exclusive ownership. */
-    void writeMiss(net::NodeId node, mem::BlockId blk, bool have_line,
-                   AccessTiming &t);
-
-    /** Fan out invalidations to every sharer but @p node in parallel and
-     *  wait for all acks; state flips happen immediately (lock is held). */
-    void invalidateSharers(net::NodeId node, mem::BlockId blk,
-                           mem::DirectoryEntry &entry, AccessTiming &t);
-
-    /** Make room for @p blk in @p node's cache (victim writeback). */
-    void makeRoom(net::NodeId node, mem::BlockId blk, AccessTiming &t);
-
-    sim::EventQueue &eq_;
-    std::unique_ptr<net::DetailedNetwork> net_;
-    std::vector<std::unique_ptr<mem::SetAssocCache>> caches_;
-    mem::Directory dir_;
-    ProtocolKind protocol_;
-    check::CoherenceChecker checker_;
+    DirectoryMem &dirMem() { return static_cast<DirectoryMem &>(memModel()); }
+    const DirectoryMem &dirMem() const
+    {
+        return static_cast<const DirectoryMem &>(memModel());
+    }
 };
 
 } // namespace absim::mach

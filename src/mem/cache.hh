@@ -11,9 +11,11 @@
  *  - SharedDirty  owned and possibly shared; memory stale
  *  - Dirty        owned exclusively; memory stale
  *
- * The same structure backs both the detailed target machine and the
- * LogP+C ideal-cache abstraction (which performs the identical state
- * transitions but charges nothing for coherence traffic).
+ * The same structure backs both stateful memory models: the real
+ * directory protocol (mach::DirectoryMem, behind target and logp+dir)
+ * and the ideal-cache abstraction (mach::IdealCacheMem, behind logp+c
+ * and target+ic, which performs the identical state transitions but
+ * charges nothing for coherence traffic).
  */
 
 #ifndef ABSIM_MEM_CACHE_HH

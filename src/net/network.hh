@@ -2,7 +2,7 @@
  * @file
  * Detailed circuit-switched interconnect simulation.
  *
- * Models the target machine's network per Section 5 of the paper: serial
+ * Models the detailed network axis per Section 5 of the paper: serial
  * unidirectional links at 20 MB/s, circuit-switched wormhole transfer,
  * negligible switching delay.  A message incrementally reserves every link
  * on its dimension-ordered route (incremental acquisition + dimension
@@ -10,6 +10,10 @@
  * time, and releases.  Time spent waiting for links is the message's
  * contention; the transmission time itself is its latency — precisely the
  * SPASM overhead split the paper relies on.
+ *
+ * Machine compositions reach this network through mach::DetailedNetModel
+ * (the "detailed" rows of the registry grid: target, target+ic); see
+ * docs/MACHINES.md.
  */
 
 #ifndef ABSIM_NET_NETWORK_HH
@@ -43,7 +47,7 @@ struct NetworkStats
 };
 
 /**
- * The target machine's interconnect.
+ * The detailed interconnect (the target machine's network axis).
  *
  * transfer() must be called from inside a simulated process; it blocks in
  * simulated time for the full circuit set-up, transmission, and tear-down.

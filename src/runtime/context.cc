@@ -271,6 +271,8 @@ Runtime::collect() const
         profile.remoteLatency.merge(proc->remoteLatencyHistogram());
     }
     profile.machine = machine_.stats();
+    profile.netModel = machine_.netModelName();
+    profile.memModel = machine_.memModelName();
     profile.engineEvents = eq_.dispatched();
     return profile;
 }

@@ -66,6 +66,16 @@ Profile::totalContention() const
     return sum;
 }
 
+AxisSplit
+Profile::axisSplit() const
+{
+    AxisSplit split;
+    split.netLatency = totalLatency();
+    split.netContention = totalContention();
+    split.memTime = machine.memTime;
+    return split;
+}
+
 std::vector<PhaseStats>
 Profile::phaseSummary() const
 {
@@ -92,7 +102,9 @@ Profile::phaseSummary() const
 std::ostream &
 operator<<(std::ostream &os, const Profile &p)
 {
-    os << "exec time      " << p.execTime() / 1000.0 << " us\n"
+    os << "models         net=" << p.netModel << " mem=" << p.memModel
+       << "\n"
+       << "exec time      " << p.execTime() / 1000.0 << " us\n"
        << "mean busy      " << p.meanBusy() / 1000.0 << " us\n"
        << "mean latency   " << p.meanLatency() / 1000.0 << " us\n"
        << "mean contention" << ' ' << p.meanContention() / 1000.0

@@ -69,6 +69,31 @@ struct PhaseStats
     }
 };
 
+/**
+ * Per-abstraction-axis attribution of a run's memory-system time
+ * (which model charged what), so the network abstraction's error and
+ * the locality abstraction's error stay separable in every profile —
+ * the decomposition the quadrant ablation plots.
+ */
+struct AxisSplit
+{
+    /** Network-axis time: contention-free transmission, summed over
+     *  processors (SPASM latency). */
+    sim::Duration netLatency = 0;
+    /** Network-axis time: link/g-gate waits, summed over processors
+     *  (SPASM contention). */
+    sim::Duration netContention = 0;
+    /** Memory-axis time: cache/local-memory cost the memory model
+     *  charged (MachineStats::memTime). */
+    sim::Duration memTime = 0;
+
+    sim::Duration
+    networkTotal() const
+    {
+        return netLatency + netContention;
+    }
+};
+
 /** Result of one complete simulation run. */
 struct Profile
 {
@@ -78,8 +103,15 @@ struct Profile
     /** Machine-wide distribution of networked-access times. */
     Histogram remoteLatency;
     mach::MachineStats machine;
+    /** Which model implemented each abstraction axis ("detailed"/"logp",
+     *  "directory"/"ideal"/"uncached"; "none" without that axis). */
+    std::string netModel = "none";
+    std::string memModel = "none";
     std::uint64_t engineEvents = 0; ///< Simulation-cost metric.
     double wallSeconds = 0.0;       ///< Host time for the simulation.
+
+    /** Per-axis attribution of the run's memory-system time. */
+    AxisSplit axisSplit() const;
 
     /** Phase breakdown summed across processors. */
     std::vector<PhaseStats> phaseSummary() const;

@@ -11,8 +11,10 @@
 #include <memory>
 #include <vector>
 
+#include "machines/composed_machine.hh"
 #include "machines/logp_c_machine.hh"
 #include "machines/logp_machine.hh"
+#include "machines/registry.hh"
 #include "machines/target_machine.hh"
 #include "runtime/context.hh"
 #include "runtime/shared.hh"
@@ -28,20 +30,7 @@ class MachineHarness
                    logp::GapPolicy policy = logp::GapPolicy::Single)
         : heap(procs)
     {
-        switch (kind) {
-          case mach::MachineKind::Target:
-            machine = std::make_unique<mach::TargetMachine>(eq, topo,
-                                                            procs, heap);
-            break;
-          case mach::MachineKind::LogP:
-            machine = std::make_unique<mach::LogPMachine>(
-                eq, topo, procs, heap, policy);
-            break;
-          case mach::MachineKind::LogPC:
-            machine = std::make_unique<mach::LogPCMachine>(
-                eq, topo, procs, heap, policy);
-            break;
-        }
+        machine = mach::makeMachine(kind, eq, topo, procs, heap, policy);
         runtime = std::make_unique<rt::Runtime>(eq, *machine, procs);
     }
 
@@ -63,6 +52,13 @@ class MachineHarness
     logpc()
     {
         return dynamic_cast<mach::LogPCMachine &>(*machine);
+    }
+
+    /** Any registry-built machine, for model-level accessors. */
+    mach::ComposedMachine &
+    composed()
+    {
+        return dynamic_cast<mach::ComposedMachine &>(*machine);
     }
 
     sim::EventQueue eq;

@@ -59,13 +59,14 @@ TEST(Figures, SweepProducesThreeCurves)
                           core::Metric::ExecTime, {1, 2, 4});
     ASSERT_EQ(figure.points.size(), 3u);
     for (const auto &pt : figure.points) {
-        EXPECT_GT(pt.target, 0.0);
-        EXPECT_GT(pt.logp, 0.0);
-        EXPECT_GT(pt.logpc, 0.0);
+        ASSERT_EQ(pt.values.size(), 3u); // target, logp, logp+c.
+        for (const double v : pt.values)
+            EXPECT_GT(v, 0.0);
     }
     // P=1: no network anywhere, so overhead-free execution must agree
     // across machines up to the local-memory model (identical here).
-    EXPECT_DOUBLE_EQ(figure.points[0].target, figure.points[0].logpc);
+    EXPECT_DOUBLE_EQ(figure.points[0].values[0],
+                     figure.points[0].values[2]);
 }
 
 TEST(Figures, PrintFormat)
@@ -75,7 +76,7 @@ TEST(Figures, PrintFormat)
     figure.app = "fft";
     figure.topology = net::TopologyKind::Hypercube;
     figure.metric = core::Metric::Latency;
-    figure.points.push_back({4, 1.5, 6.25, 2.0});
+    figure.points.push_back({4, {1.5, 6.25, 2.0}});
     std::ostringstream os;
     core::printFigure(os, figure);
     const std::string text = os.str();
@@ -100,12 +101,17 @@ class PaperClaims : public ::testing::Test
         return core::sweepFigure("claim", base, topo, metric, {2, 4, 8});
     }
 
+    // Column indices in the classic machine order.
+    static constexpr std::size_t kTarget = 0;
+    static constexpr std::size_t kLogp = 1;
+    static constexpr std::size_t kLogpc = 2;
+
     static std::vector<double>
-    curve(const core::Figure &figure, double core::SeriesPoint::*member)
+    curve(const core::Figure &figure, std::size_t column)
     {
         std::vector<double> v;
         for (const auto &pt : figure.points)
-            v.push_back(pt.*member);
+            v.push_back(pt.values[column]);
         return v;
     }
 };
@@ -119,8 +125,8 @@ TEST_F(PaperClaims, LatencyAbstractionTracksTarget)
         const auto figure = sweep(app, app == std::string("fft") ? 512 : 128,
                                   net::TopologyKind::Full,
                                   core::Metric::Latency);
-        const auto target = curve(figure, &core::SeriesPoint::target);
-        const auto logpc = curve(figure, &core::SeriesPoint::logpc);
+        const auto target = curve(figure, kTarget);
+        const auto logpc = curve(figure, kLogpc);
         EXPECT_GE(core::trendAgreement(target, logpc), 0.5) << app;
         const double ratio = core::meanRatio(target, logpc);
         EXPECT_GT(ratio, 0.7) << app;
@@ -134,8 +140,8 @@ TEST_F(PaperClaims, LogPLatencyInflatedByMissingLocality)
     // latency overhead by roughly the items-per-block factor.
     const auto figure =
         sweep("fft", 512, net::TopologyKind::Full, core::Metric::Latency);
-    const auto target = curve(figure, &core::SeriesPoint::target);
-    const auto logp = curve(figure, &core::SeriesPoint::logp);
+    const auto target = curve(figure, kTarget);
+    const auto logp = curve(figure, kLogp);
     const double ratio = core::meanRatio(target, logp);
     EXPECT_GT(ratio, 2.0);
 }
@@ -154,8 +160,10 @@ TEST_F(PaperClaims, ContentionPessimisticAndWorseOnMesh)
     const auto mesh =
         core::sweepFigure("claim", base, net::TopologyKind::Mesh2D,
                           core::Metric::Contention, {16});
-    const double gap_full = full.points[0].logpc - full.points[0].target;
-    const double gap_mesh = mesh.points[0].logpc - mesh.points[0].target;
+    const double gap_full =
+        full.points[0].values[2] - full.points[0].values[0];
+    const double gap_mesh =
+        mesh.points[0].values[2] - mesh.points[0].values[0];
     EXPECT_GT(gap_full, 0.0);
     EXPECT_GT(gap_mesh, gap_full);
 }
@@ -166,8 +174,8 @@ TEST_F(PaperClaims, EpExecutionAgreesOnAllMachines)
     const auto figure = sweep("ep", 8192, net::TopologyKind::Full,
                               core::Metric::ExecTime);
     for (const auto &pt : figure.points) {
-        EXPECT_NEAR(pt.logpc / pt.target, 1.0, 0.1);
-        EXPECT_NEAR(pt.logp / pt.target, 1.0, 0.25);
+        EXPECT_NEAR(pt.values[2] / pt.values[0], 1.0, 0.1);
+        EXPECT_NEAR(pt.values[1] / pt.values[0], 1.0, 0.25);
     }
 }
 
@@ -178,17 +186,17 @@ TEST_F(PaperClaims, LocalityGapGrowsWithCommunication)
     const double gap_ep =
         core::meanRatio(curve(sweep("ep", 8192, net::TopologyKind::Full,
                                     core::Metric::ExecTime),
-                              &core::SeriesPoint::logpc),
+                              kLogpc),
                         curve(sweep("ep", 8192, net::TopologyKind::Full,
                                     core::Metric::ExecTime),
-                              &core::SeriesPoint::logp));
+                              kLogp));
     const double gap_is =
         core::meanRatio(curve(sweep("is", 1024, net::TopologyKind::Full,
                                     core::Metric::ExecTime),
-                              &core::SeriesPoint::logpc),
+                              kLogpc),
                         curve(sweep("is", 1024, net::TopologyKind::Full,
                                     core::Metric::ExecTime),
-                              &core::SeriesPoint::logp));
+                              kLogp));
     EXPECT_LT(gap_ep, 1.2);
     EXPECT_GT(gap_is, gap_ep);
 }

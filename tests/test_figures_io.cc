@@ -22,8 +22,8 @@ TEST(FigureCsv, WritesHeaderAndRows)
 {
     core::Figure figure;
     figure.title = "Figure T";
-    figure.points.push_back({2, 1.5, 2.5, 3.5});
-    figure.points.push_back({4, 10.0, 20.0, 30.0});
+    figure.points.push_back({2, {1.5, 2.5, 3.5}});
+    figure.points.push_back({4, {10.0, 20.0, 30.0}});
     std::ostringstream os;
     core::writeFigureCsv(os, figure);
     EXPECT_EQ(os.str(), "# Figure T\n"

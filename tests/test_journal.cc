@@ -39,16 +39,12 @@ TEST(Journal, RecordEncodeDecodeRoundTrips)
 {
     core::JournalRecord success;
     success.procs = 8;
-    success.target = 1.0 / 3.0;
-    success.logp = 2.75;
-    success.logpc = 1e-9;
+    success.values = {1.0 / 3.0, 2.75, 1e-9};
     core::JournalRecord out;
     ASSERT_TRUE(core::decodeRecord(core::encodeRecord(success), out));
     EXPECT_FALSE(out.failed);
     EXPECT_EQ(out.procs, 8u);
-    EXPECT_EQ(out.target, success.target);
-    EXPECT_EQ(out.logp, success.logp);
-    EXPECT_EQ(out.logpc, success.logpc);
+    EXPECT_EQ(out.values, success.values);
 
     core::JournalRecord failure;
     failure.procs = 16;
@@ -79,7 +75,7 @@ TEST(Journal, LoadSkipsTornTrailingWrite)
     const std::string path = testing::TempDir() + "absim_torn.jsonl";
     const core::JournalHeader header{"t", "fft", "full", "exec_time"};
     core::startJournal(path, header);
-    core::appendJournal(path, {4, false, 1.5, 2.5, 3.5, "", "", ""});
+    core::appendJournal(path, {4, false, {1.5, 2.5, 3.5}, "", "", ""});
     {
         // Simulate a crash mid-write: a truncated trailing line.
         std::ofstream out(path, std::ios::app);
@@ -95,7 +91,7 @@ TEST(Journal, HeaderMismatchIgnoresJournal)
 {
     const std::string path = testing::TempDir() + "absim_header.jsonl";
     core::startJournal(path, {"t", "fft", "full", "exec_time"});
-    core::appendJournal(path, {4, false, 1.0, 2.0, 3.0, "", "", ""});
+    core::appendJournal(path, {4, false, {1.0, 2.0, 3.0}, "", "", ""});
     std::vector<core::JournalRecord> records;
     EXPECT_FALSE(core::loadJournal(
         path, {"t", "cg", "full", "exec_time"}, records));
@@ -132,9 +128,7 @@ TEST(SweepSafe, MatchesRawSweepWhenNothingFails)
     ASSERT_EQ(safe.figure.points.size(), raw.points.size());
     for (std::size_t i = 0; i < raw.points.size(); ++i) {
         EXPECT_EQ(safe.figure.points[i].procs, raw.points[i].procs);
-        EXPECT_EQ(safe.figure.points[i].target, raw.points[i].target);
-        EXPECT_EQ(safe.figure.points[i].logp, raw.points[i].logp);
-        EXPECT_EQ(safe.figure.points[i].logpc, raw.points[i].logpc);
+        EXPECT_EQ(safe.figure.points[i].values, raw.points[i].values);
     }
 }
 
@@ -194,7 +188,8 @@ TEST(SweepSafe, MismatchedJournalIsRewrittenNotTrusted)
     // A journal from a different figure, with a bogus cached point that
     // must NOT leak into this sweep.
     core::startJournal(path, {"other", "fft", "cube", "latency"});
-    core::appendJournal(path, {1, false, 999.0, 999.0, 999.0, "", "", ""});
+    core::appendJournal(path,
+                        {1, false, {999.0, 999.0, 999.0}, "", "", ""});
 
     core::SweepOptions options;
     options.journalPath = path;
@@ -203,7 +198,7 @@ TEST(SweepSafe, MismatchedJournalIsRewrittenNotTrusted)
         {1}, options);
     ASSERT_TRUE(result.complete());
     ASSERT_EQ(result.figure.points.size(), 1u);
-    EXPECT_NE(result.figure.points[0].target, 999.0);
+    EXPECT_NE(result.figure.points[0].values[0], 999.0);
 
     // The stale journal was replaced by this sweep's own.
     std::vector<core::JournalRecord> records;
@@ -217,7 +212,7 @@ TEST(SweepSafe, FigureJsonIsWellFormedAndDeterministic)
     core::SweepResult result;
     result.figure.title = "fig \"X\"";
     result.figure.app = "fft";
-    result.figure.points.push_back({2, 0.5, 1.0 / 3.0, 2.0});
+    result.figure.points.push_back({2, {0.5, 1.0 / 3.0, 2.0}});
     result.failures.push_back({4, "logp", "Deadlock", "stuck"});
     std::ostringstream a;
     std::ostringstream b;
