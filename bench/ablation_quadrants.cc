@@ -16,8 +16,12 @@
 /// each single-axis quadrant against the target plus the combined
 /// logp+c error.
 ///
-/// Supports --jobs N / ABSIM_JOBS (worker pool, byte-identical output)
-/// and the ABSIM_MAX_PROCS / ABSIM_SIZE knobs of the figure benches.
+/// Supports --jobs N / ABSIM_JOBS (worker pool, byte-identical output),
+/// --shard K/N / ABSIM_SHARD (run one shard of each sweep; the error
+/// table needs the full grid and is skipped), ABSIM_JOURNAL_DIR
+/// (checkpoint each app's sweep) and the ABSIM_MAX_PROCS / ABSIM_SIZE
+/// knobs of the figure benches.  Malformed numeric values exit 2 with
+/// a diagnostic.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -53,16 +57,14 @@ errorPct(double value, double reference)
 }
 
 int
-runApp(const std::string &app, unsigned jobs)
+runApp(const std::string &app, unsigned jobs, core::ShardSpec shard)
 {
     core::RunConfig base;
     base.app = app;
-    if (const char *size = std::getenv("ABSIM_SIZE"))
-        base.params.n = std::strtoull(size, nullptr, 10);
+    base.params.n = core::envUint("ABSIM_SIZE", base.params.n, 1);
 
-    std::uint32_t max_procs = 16;
-    if (const char *cap = std::getenv("ABSIM_MAX_PROCS"))
-        max_procs = static_cast<std::uint32_t>(std::atoi(cap));
+    const std::uint32_t max_procs = static_cast<std::uint32_t>(
+        core::envUint("ABSIM_MAX_PROCS", 16, 1, 1u << 20));
 
     std::vector<std::uint32_t> procs;
     for (const std::uint32_t p : core::defaultProcCounts())
@@ -71,7 +73,16 @@ runApp(const std::string &app, unsigned jobs)
 
     core::SweepOptions options;
     options.jobs = jobs;
+    options.shard = shard;
     options.machines = mach::allQuadrants();
+    if (const char *dir = std::getenv("ABSIM_JOURNAL_DIR")) {
+        std::string stem = "quadrants_" + app + "_full_exec_time";
+        if (shard.sharded())
+            stem += ".shard" + std::to_string(shard.index) + "of" +
+                    std::to_string(shard.count);
+        options.journalPath =
+            std::string(dir) + "/" + stem + ".journal.jsonl";
+    }
 
     const core::SweepResult result = core::sweepFigureParallel(
         "Quadrant ablation: " + app + " on full: execution time", base,
@@ -84,6 +95,11 @@ runApp(const std::string &app, unsigned jobs)
                      f.message.c_str());
     if (!result.complete())
         return 3;
+
+    // A shard's figure is partial (unowned cells read 0.0); the error
+    // table only means something on the merged full grid.
+    if (shard.sharded())
+        return 0;
 
     const auto machines = core::figureMachines(result.figure);
     const std::size_t target =
@@ -113,16 +129,17 @@ int
 main(int argc, char **argv)
 {
     unsigned jobs = 1;
-    if (!bench::parseJobs(argc, argv, jobs))
+    core::ShardSpec shard;
+    if (!bench::parseSweepFlags(argc, argv, jobs, shard))
         return 2;
 
     int rc = 0;
     for (const char *app : {"ep", "is"}) {
-        const int app_rc = runApp(app, jobs);
+        const int app_rc = runApp(app, jobs, shard);
         if (app_rc != 0)
             rc = app_rc;
     }
-    if (rc == 0)
+    if (rc == 0 && !shard.sharded())
         std::printf("# Reading: EP (computation bound) keeps every error"
                     " near zero; on IS the\n# single-axis quadrants"
                     " attribute logp+c's disagreement between the\n"

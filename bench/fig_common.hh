@@ -7,7 +7,9 @@
  * machine curves.  The sweep runs under the resilient harness
  * (core::sweepFigureSafe): a failed point is reported and the rest of
  * the figure still completes, and with a journal directory set an
- * interrupted sweep resumes from its checkpoint.  Environment knobs:
+ * interrupted sweep resumes from its checkpoint.  Environment knobs
+ * (numeric values are validated — garbage or out-of-range input is a
+ * named diagnostic and exit 2, never a silent fallback):
  *   ABSIM_MAX_PROCS     cap the sweep (default 32)
  *   ABSIM_SIZE          override the app problem size
  *   ABSIM_CSV_DIR       additionally write <dir>/<app>_<net>_<metric>.csv
@@ -23,9 +25,15 @@
  *                       --jobs N flag overrides it.  Output is
  *                       byte-identical for every value — see
  *                       docs/PARALLELISM.md.
+ *   ABSIM_SHARD         run one shard of the sweep, "K/N" (default the
+ *                       whole sweep); the --shard K/N flag overrides
+ *                       it.  A shard suffixes its journal/CSV/JSON
+ *                       stems with .shard<K>of<N> and its journal is
+ *                       merged back with the journal_merge tool — see
+ *                       docs/PARALLELISM.md.
  *
  * Exit status: 0 on a complete figure, 3 if any point failed, 2 on a
- * bad command line.
+ * bad command line or environment value.
  */
 
 #ifndef ABSIM_BENCH_FIG_COMMON_HH
@@ -36,9 +44,63 @@
 #include <iostream>
 #include <string>
 
+#include "core/env.hh"
 #include "core/figures.hh"
 
 namespace absim::bench {
+
+namespace detail {
+
+/** Shared flag scanner: --jobs/-j and (optionally) --shard.  Returns
+ *  false after printing usage on an unknown flag or malformed value. */
+inline bool
+parseFlags(int argc, char **argv, unsigned &jobs, core::ShardSpec *shard)
+{
+    jobs = static_cast<unsigned>(
+        core::envUint("ABSIM_JOBS", jobs, 1, 4096));
+    if (shard != nullptr)
+        *shard = core::envShard("ABSIM_SHARD");
+    const char *usage =
+        shard != nullptr ? " [--jobs N] [--shard K/N]" : " [--jobs N]";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *value = nullptr;
+        if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 < argc)
+                value = argv[++i];
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            value = arg.c_str() + 7;
+        } else if (shard != nullptr &&
+                   (arg == "--shard" || arg.rfind("--shard=", 0) == 0)) {
+            const char *spec = nullptr;
+            if (arg == "--shard") {
+                if (i + 1 < argc)
+                    spec = argv[++i];
+            } else {
+                spec = arg.c_str() + 8;
+            }
+            if (spec == nullptr || !core::ShardSpec::parse(spec, *shard)) {
+                std::cerr << argv[0]
+                          << ": --shard expects K/N with 0 <= K < N\n";
+                return false;
+            }
+            continue;
+        } else {
+            std::cerr << "usage: " << argv[0] << usage << "\n";
+            return false;
+        }
+        std::uint64_t v = 0;
+        if (value == nullptr || !core::parseUint(value, v) || v == 0 ||
+            v > 4096) {
+            std::cerr << argv[0] << ": --jobs expects a positive count\n";
+            return false;
+        }
+        jobs = static_cast<unsigned>(v);
+    }
+    return true;
+}
+
+} // namespace detail
 
 /**
  * Parse the sweep's worker-thread count: ABSIM_JOBS provides the
@@ -48,32 +110,16 @@ namespace absim::bench {
 inline bool
 parseJobs(int argc, char **argv, unsigned &jobs)
 {
-    if (const char *env = std::getenv("ABSIM_JOBS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            jobs = static_cast<unsigned>(v);
-    }
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const char *value = nullptr;
-        if (arg == "--jobs" || arg == "-j") {
-            if (i + 1 < argc)
-                value = argv[++i];
-        } else if (arg.rfind("--jobs=", 0) == 0) {
-            value = arg.c_str() + 7;
-        } else {
-            std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
-            return false;
-        }
-        char *end = nullptr;
-        const long v = value ? std::strtol(value, &end, 10) : 0;
-        if (value == nullptr || end == value || *end != '\0' || v <= 0) {
-            std::cerr << argv[0] << ": --jobs expects a positive count\n";
-            return false;
-        }
-        jobs = static_cast<unsigned>(v);
-    }
-    return true;
+    return detail::parseFlags(argc, argv, jobs, nullptr);
+}
+
+/** parseJobs plus the --shard K/N flag (ABSIM_SHARD provides the
+ *  default).  Same usage-and-false contract on malformed input. */
+inline bool
+parseSweepFlags(int argc, char **argv, unsigned &jobs,
+                core::ShardSpec &shard)
+{
+    return detail::parseFlags(argc, argv, jobs, &shard);
 }
 
 inline int
@@ -82,38 +128,45 @@ runFigureMain(const std::string &title, const std::string &app,
               int argc = 0, char **argv = nullptr)
 {
     unsigned jobs = 1;
-    if (argv != nullptr && !parseJobs(argc, argv, jobs))
+    core::ShardSpec shard;
+    if (argv != nullptr && !parseSweepFlags(argc, argv, jobs, shard))
         return 2;
+    if (argv == nullptr)
+        shard = core::envShard("ABSIM_SHARD");
 
     core::RunConfig base;
     base.app = app;
-    if (const char *size = std::getenv("ABSIM_SIZE"))
-        base.params.n = std::strtoull(size, nullptr, 10);
+    base.params.n = core::envUint("ABSIM_SIZE", base.params.n, 1);
 
-    std::uint32_t max_procs = 32;
-    if (const char *cap = std::getenv("ABSIM_MAX_PROCS"))
-        max_procs = static_cast<std::uint32_t>(std::atoi(cap));
+    const std::uint32_t max_procs = static_cast<std::uint32_t>(
+        core::envUint("ABSIM_MAX_PROCS", 32, 1, 1u << 20));
 
     std::vector<std::uint32_t> procs;
     for (const std::uint32_t p : core::defaultProcCounts())
         if (p <= max_procs)
             procs.push_back(p);
 
-    const std::string stem = app + "_" + net::toString(topology) + "_" +
-                             core::toString(metric);
+    // A shard's artifacts carry the spec in their names so N shard
+    // processes sharing one output directory never collide, and the
+    // merged journal can land at the unsharded stem.
+    std::string stem = app + "_" + net::toString(topology) + "_" +
+                       core::toString(metric);
+    if (shard.sharded())
+        stem += ".shard" + std::to_string(shard.index) + "of" +
+                std::to_string(shard.count);
 
     core::SweepOptions options;
     if (const char *dir = std::getenv("ABSIM_JOURNAL_DIR"))
         options.journalPath =
             std::string(dir) + "/" + stem + ".journal.jsonl";
-    if (const char *cap = std::getenv("ABSIM_MAX_EVENTS"))
-        options.policy.budget.maxEvents = std::strtoull(cap, nullptr, 10);
-    if (const char *cap = std::getenv("ABSIM_WALL_SECONDS"))
-        options.policy.budget.maxWallSeconds = std::strtod(cap, nullptr);
-    if (const char *cap = std::getenv("ABSIM_STALL_LIMIT"))
-        options.policy.budget.stallDispatchLimit =
-            std::strtoull(cap, nullptr, 10);
+    options.policy.budget.maxEvents =
+        core::envUint("ABSIM_MAX_EVENTS", options.policy.budget.maxEvents);
+    options.policy.budget.maxWallSeconds = core::envDouble(
+        "ABSIM_WALL_SECONDS", options.policy.budget.maxWallSeconds);
+    options.policy.budget.stallDispatchLimit = core::envUint(
+        "ABSIM_STALL_LIMIT", options.policy.budget.stallDispatchLimit);
     options.jobs = jobs;
+    options.shard = shard;
 
     const core::SweepResult result = core::sweepFigureParallel(
         title, base, topology, metric, procs, options);

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/env.hh"
 #include "core/experiment.hh"
 
 using namespace absim;
@@ -22,8 +23,19 @@ using namespace absim;
 int
 main(int argc, char **argv)
 {
-    const std::uint32_t procs =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+    std::uint32_t procs = 8;
+    if (argc > 1) {
+        std::uint64_t v = 0;
+        if (!core::parseUint(argv[1], v) || v == 0) {
+            std::fprintf(stderr,
+                         "error: invalid procs value '%s' (expected a "
+                         "positive integer)\n"
+                         "usage: %s [procs]\n",
+                         argv[1], argv[0]);
+            return 2;
+        }
+        procs = static_cast<std::uint32_t>(v);
+    }
 
     core::RunConfig config;
     config.topology = net::TopologyKind::Full;

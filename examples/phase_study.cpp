@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "core/env.hh"
 #include "core/experiment.hh"
 
 using namespace absim;
@@ -49,9 +50,19 @@ main(int argc, char **argv)
 {
     core::RunConfig config;
     config.app = argc > 1 ? argv[1] : "is";
-    config.procs = argc > 2
-                       ? static_cast<std::uint32_t>(std::atoi(argv[2]))
-                       : 8;
+    config.procs = 8;
+    if (argc > 2) {
+        std::uint64_t procs = 0;
+        if (!core::parseUint(argv[2], procs) || procs == 0) {
+            std::fprintf(stderr,
+                         "error: invalid procs value '%s' (expected a "
+                         "positive integer)\n"
+                         "usage: %s [app] [procs]\n",
+                         argv[2], argv[0]);
+            return 2;
+        }
+        config.procs = static_cast<std::uint32_t>(procs);
+    }
     config.topology = net::TopologyKind::Hypercube;
 
     std::printf("Per-phase overhead separation: %s on %u processors "

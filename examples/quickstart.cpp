@@ -8,10 +8,12 @@
  *     ./build/examples/quickstart [app] [procs]
  */
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "core/env.hh"
 #include "core/experiment.hh"
 
 int
@@ -19,9 +21,19 @@ main(int argc, char **argv)
 {
     absim::core::RunConfig config;
     config.app = argc > 1 ? argv[1] : "fft";
-    config.procs = argc > 2
-                       ? static_cast<std::uint32_t>(std::atoi(argv[2]))
-                       : 8;
+    config.procs = 8;
+    if (argc > 2) {
+        std::uint64_t procs = 0;
+        if (!absim::core::parseUint(argv[2], procs) || procs == 0) {
+            std::fprintf(stderr,
+                         "error: invalid procs value '%s' (expected a "
+                         "positive integer)\n"
+                         "usage: %s [app] [procs]\n",
+                         argv[2], argv[0]);
+            return 2;
+        }
+        config.procs = static_cast<std::uint32_t>(procs);
+    }
     config.topology = absim::net::TopologyKind::Full;
 
     std::cout << "Application " << config.app << " on " << config.procs

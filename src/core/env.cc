@@ -1,0 +1,98 @@
+#include "core/env.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace absim::core {
+
+bool
+parseUint(const char *text, std::uint64_t &out)
+{
+    if (text == nullptr || *text < '0' || *text > '9')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || end == text || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(const char *text, double &out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback, std::uint64_t min,
+        std::uint64_t max)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    std::uint64_t v = 0;
+    if (!parseUint(text, v) || v < min || v > max) {
+        if (max == std::numeric_limits<std::uint64_t>::max())
+            std::fprintf(stderr,
+                         "error: invalid %s value '%s' (expected an "
+                         "integer >= %llu)\n",
+                         name, text,
+                         static_cast<unsigned long long>(min));
+        else
+            std::fprintf(stderr,
+                         "error: invalid %s value '%s' (expected an "
+                         "integer in [%llu, %llu])\n",
+                         name, text, static_cast<unsigned long long>(min),
+                         static_cast<unsigned long long>(max));
+        std::exit(2);
+    }
+    return v;
+}
+
+double
+envDouble(const char *name, double fallback, double min)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    double v = 0.0;
+    if (!parseDouble(text, v) || v < min) {
+        std::fprintf(stderr,
+                     "error: invalid %s value '%s' (expected a number "
+                     ">= %g)\n",
+                     name, text, min);
+        std::exit(2);
+    }
+    return v;
+}
+
+ShardSpec
+envShard(const char *name)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return {};
+    ShardSpec spec;
+    if (!ShardSpec::parse(text, spec)) {
+        std::fprintf(stderr,
+                     "error: invalid %s value '%s' (expected K/N with "
+                     "0 <= K < N)\n",
+                     name, text);
+        std::exit(2);
+    }
+    return spec;
+}
+
+} // namespace absim::core

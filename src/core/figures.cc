@@ -1,12 +1,13 @@
 #include "core/figures.hh"
 
-#include <cstdlib>
+#include <cstdio>
 #include <iomanip>
 #include <map>
 #include <optional>
 #include <ostream>
+#include <stdexcept>
 
-#include "core/journal.hh"
+#include "core/env.hh"
 #include "machines/registry.hh"
 
 namespace absim::core {
@@ -129,12 +130,24 @@ resolveJobs(unsigned jobs)
 {
     if (jobs != 0)
         return jobs;
-    if (const char *env = std::getenv("ABSIM_JOBS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            return static_cast<unsigned>(v);
-    }
-    return 1;
+    return static_cast<unsigned>(envUint("ABSIM_JOBS", 1, 1, 4096));
+}
+
+/** Open the sweep's journal for appending: resume an intact matching
+ *  journal (truncating any torn tail away first), start a fresh one
+ *  otherwise.  A journal that cannot be opened disables checkpointing
+ *  for the run with a warning rather than failing the sweep. */
+void
+openJournal(JournalWriter &writer, const std::string &path, bool resumed,
+            const JournalResume &info, const JournalHeader &header)
+{
+    const bool ok = resumed ? writer.resume(path, info.cleanBytes)
+                            : writer.start(path, header);
+    if (!ok)
+        std::fprintf(stderr,
+                     "warning: cannot write journal '%s'; sweeping "
+                     "without checkpoints\n",
+                     path.c_str());
 }
 
 } // namespace
@@ -149,12 +162,198 @@ sweepFigureSafe(const std::string &title, const RunConfig &base,
                                options);
 }
 
+namespace {
+
+/**
+ * The sharded executor: runs only the (point x machine) work items the
+ * shard owns and journals one positional single-column record per item
+ * (see SweepOptions::shard).  Same pool, policy, and in-order-frontier
+ * guarantees as the unsharded path, applied per item instead of per
+ * point.
+ */
+SweepResult
+sweepFigureSharded(const std::string &title, const RunConfig &base,
+                   net::TopologyKind topology, Metric metric,
+                   const std::vector<std::uint32_t> &proc_counts,
+                   const SweepOptions &options)
+{
+    const ShardSpec shard = options.shard;
+    const std::vector<mach::MachineKind> machines =
+        resolveMachines(options.machines);
+    const std::vector<std::string> columns = machineColumns(machines);
+    const std::size_t machine_count = machines.size();
+
+    SweepResult result;
+    result.figure.title = title;
+    result.figure.app = base.app;
+    result.figure.topology = topology;
+    result.figure.metric = metric;
+    result.figure.machines = machines;
+
+    // Owned work items, in row-major order.  Item g = p_idx * M + m_idx.
+    std::vector<std::size_t> owned;
+    for (std::size_t g = 0; g < proc_counts.size() * machine_count; ++g)
+        if (shard.owns(g))
+            owned.push_back(g);
+
+    // Shard journal headers always stamp the machine columns and the
+    // shard spec, so a resume can never cross shards or machine sets.
+    JournalHeader header{title, base.app, net::toString(topology),
+                         toString(metric), columns, shard};
+
+    /** What one owned item produced (journal replay or fresh run). */
+    struct ItemOutcome
+    {
+        bool failed = false;
+        double value = 0.0;
+        std::string machine;
+        std::string error;
+        std::string message;
+    };
+    std::vector<std::optional<ItemOutcome>> items(owned.size());
+
+    // Resume: shard records are positional — the r-th record is owned
+    // item r.  A journal that holds more records than the shard owns,
+    // or whose procs disagree with the grid, belongs to a different
+    // sweep shape and is rewritten from scratch.
+    const bool journaling = !options.journalPath.empty();
+    JournalWriter writer;
+    std::size_t replayed = 0;
+    if (journaling) {
+        std::vector<JournalRecord> records;
+        JournalResume info;
+        bool resumed = loadShardJournal(options.journalPath, header,
+                                        columns, records, &info);
+        if (resumed && records.size() <= owned.size()) {
+            for (std::size_t r = 0; resumed && r < records.size(); ++r)
+                if (records[r].procs !=
+                    proc_counts[owned[r] / machine_count])
+                    resumed = false;
+        } else {
+            resumed = false;
+        }
+        if (resumed) {
+            for (std::size_t r = 0; r < records.size(); ++r) {
+                const JournalRecord &rec = records[r];
+                ItemOutcome outcome;
+                outcome.failed = rec.failed;
+                if (rec.failed) {
+                    outcome.machine = rec.machine;
+                    outcome.error = rec.error;
+                    outcome.message = rec.message;
+                } else {
+                    outcome.value =
+                        rec.values.empty() ? 0.0 : rec.values[0];
+                }
+                items[r] = outcome;
+            }
+            replayed = records.size();
+        }
+        openJournal(writer, options.journalPath, resumed, info, header);
+    }
+
+    // Fresh runs for the owned items the journal does not answer.
+    std::vector<RunConfig> configs;
+    configs.reserve(owned.size() - replayed);
+    for (std::size_t r = replayed; r < owned.size(); ++r) {
+        RunConfig config = base;
+        config.topology = topology;
+        config.procs = proc_counts[owned[r] / machine_count];
+        config.machine = machines[owned[r] % machine_count];
+        configs.push_back(config);
+    }
+
+    // In-order frontier, per item: records land in positional order
+    // whatever order the pool finishes in, so a crash always leaves a
+    // resumable positional prefix.
+    std::size_t frontier = replayed;
+    auto commitItem = [&](std::size_t r) {
+        if (!writer.isOpen())
+            return;
+        const ItemOutcome &outcome = *items[r];
+        const std::size_t g = owned[r];
+        const std::uint32_t procs = proc_counts[g / machine_count];
+        if (outcome.failed)
+            writer.append(JournalRecord{procs, true, {}, outcome.machine,
+                                        outcome.error, outcome.message},
+                          columns);
+        else
+            writer.append(JournalRecord{procs, false, {outcome.value},
+                                        "", "", ""},
+                          {columns[g % machine_count]});
+    };
+
+    const RunManyCallback onResult = [&](std::size_t i,
+                                         const RunResult &run) {
+        const std::size_t r = replayed + i;
+        ItemOutcome outcome;
+        if (run.ok()) {
+            outcome.value = metricValue(run.value(), metric);
+        } else {
+            outcome.failed = true;
+            outcome.machine =
+                mach::specFor(machines[owned[r] % machine_count]).name;
+            outcome.error = toString(run.error().kind);
+            outcome.message = run.error().message;
+        }
+        items[r] = outcome;
+        while (frontier < owned.size() && items[frontier]) {
+            commitItem(frontier);
+            ++frontier;
+        }
+    };
+
+    (void)runManySafe(configs, options.policy, resolveJobs(options.jobs),
+                      onResult);
+    writer.close();
+
+    // Partial figure: a point appears once every owned run of it
+    // succeeded (unowned columns read 0.0); owned failures go to the
+    // manifest and drop the point, and a point with no owned items is
+    // simply absent.  The merged journal — not this figure — is the
+    // sharded sweep's canonical product.
+    for (std::size_t pi = 0; pi < proc_counts.size(); ++pi) {
+        SeriesPoint point;
+        point.procs = proc_counts[pi];
+        point.values.assign(machine_count, 0.0);
+        bool any_owned = false;
+        bool any_failed = false;
+        for (std::size_t mi = 0; mi < machine_count; ++mi) {
+            const std::size_t g = pi * machine_count + mi;
+            if (!shard.owns(g))
+                continue;
+            any_owned = true;
+            const ItemOutcome &outcome =
+                *items[(g - shard.index) / shard.count];
+            if (outcome.failed) {
+                any_failed = true;
+                result.failures.push_back(
+                    FailedPoint{point.procs, outcome.machine,
+                                outcome.error, outcome.message});
+            } else {
+                point.values[mi] = outcome.value;
+            }
+        }
+        if (any_owned && !any_failed)
+            result.figure.points.push_back(std::move(point));
+    }
+    return result;
+}
+
+} // namespace
+
 SweepResult
 sweepFigureParallel(const std::string &title, const RunConfig &base,
                     net::TopologyKind topology, Metric metric,
                     const std::vector<std::uint32_t> &proc_counts,
                     const SweepOptions &options)
 {
+    if (!options.shard.valid())
+        throw std::invalid_argument("invalid shard spec " +
+                                    options.shard.str());
+    if (options.shard.sharded())
+        return sweepFigureSharded(title, base, topology, metric,
+                                  proc_counts, options);
     const std::vector<mach::MachineKind> machines =
         resolveMachines(options.machines);
     const std::vector<std::string> columns = machineColumns(machines);
@@ -172,15 +371,19 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
     // existing checkpoints stay resumable; any other machine set is
     // stamped into the header and never resumes a mismatched sweep.
     JournalHeader header{title, base.app, net::toString(topology),
-                         toString(metric), {}};
+                         toString(metric), {}, {}};
     if (!isDefaultMachineSet(machines))
         header.machines = columns;
     const bool journaling = !options.journalPath.empty();
+    JournalWriter writer;
     std::map<std::uint32_t, SeriesPoint> done;
     std::map<std::uint32_t, std::vector<FailedPoint>> failed;
     if (journaling) {
         std::vector<JournalRecord> records;
-        if (loadJournal(options.journalPath, header, columns, records)) {
+        JournalResume info;
+        const bool resumed = loadJournal(options.journalPath, header,
+                                         columns, records, &info);
+        if (resumed) {
             for (JournalRecord &r : records) {
                 if (r.failed) {
                     failed[r.procs].push_back(FailedPoint{
@@ -190,9 +393,8 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
                         SeriesPoint{r.procs, std::move(r.values)};
                 }
             }
-        } else {
-            startJournal(options.journalPath, header);
         }
+        openJournal(writer, options.journalPath, resumed, info, header);
     }
 
     // Points the journal does not already answer, in sweep order; one
@@ -245,17 +447,15 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
 
     auto commitPoint = [&](std::size_t idx) {
         const PointOutcome &outcome = *outcomes[idx];
-        if (!journaling)
+        if (!writer.isOpen())
             return;
         if (outcome.failures.empty()) {
-            appendJournal(options.journalPath,
-                          JournalRecord{outcome.point.procs, false,
+            writer.append(JournalRecord{outcome.point.procs, false,
                                         outcome.point.values, "", "", ""},
                           columns);
         } else {
             for (const FailedPoint &f : outcome.failures)
-                appendJournal(options.journalPath,
-                              JournalRecord{f.procs, true, {}, f.machine,
+                writer.append(JournalRecord{f.procs, true, {}, f.machine,
                                             f.error, f.message},
                               columns);
         }

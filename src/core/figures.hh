@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/journal.hh"
 
 namespace absim::core {
 
@@ -138,6 +139,23 @@ struct SweepOptions
      * resumes a sweep with different columns.
      */
     std::vector<mach::MachineKind> machines;
+
+    /**
+     * Which shard of the sweep this process runs (--shard K/N,
+     * ABSIM_SHARD).  Work items are the (point x machine) runs indexed
+     * row-major (point-major, machine-minor) over the full grid; shard
+     * {K, N} runs exactly the items whose index is congruent to K mod
+     * N.  The default {0, 1} runs the whole sweep.
+     *
+     * A sharded sweep returns a partial figure (only the points whose
+     * owned runs all succeeded; unowned columns read 0.0) — its real
+     * product is the shard journal, which records one single-column
+     * record per owned item and stamps "shard":"K/N" in its header.
+     * core::mergeJournals() reassembles the N shard journals into a
+     * journal byte-identical to the unsharded serial sweep's, from
+     * which a replaying re-run emits byte-identical figure JSON/CSV.
+     */
+    ShardSpec shard;
 };
 
 /**

@@ -3,6 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
+
+#include <unistd.h> // fsync, truncate
+
+#include "core/env.hh"
 
 namespace absim::core {
 
@@ -12,6 +17,30 @@ defaultJournalColumns()
     static const std::vector<std::string> columns = {"target", "logp",
                                                      "logpc"};
     return columns;
+}
+
+std::string
+ShardSpec::str() const
+{
+    return std::to_string(index) + "/" + std::to_string(count);
+}
+
+bool
+ShardSpec::parse(const std::string &text, ShardSpec &out)
+{
+    const auto slash = text.find('/');
+    if (slash == std::string::npos)
+        return false;
+    std::uint64_t k = 0;
+    std::uint64_t n = 0;
+    if (!parseUint(text.substr(0, slash).c_str(), k) ||
+        !parseUint(text.substr(slash + 1).c_str(), n))
+        return false;
+    if (n < 1 || k >= n || n > std::numeric_limits<std::uint32_t>::max())
+        return false;
+    out.index = static_cast<std::uint32_t>(k);
+    out.count = static_cast<std::uint32_t>(n);
+    return true;
 }
 
 std::string
@@ -233,11 +262,61 @@ encodeHeader(const JournalHeader &header)
         for (std::size_t i = 0; i < header.machines.size(); ++i) {
             if (i != 0)
                 out += ',';
-            out += "\"" + jsonEscape(header.machines[i]) + "\"";
+            out += '"';
+            out += jsonEscape(header.machines[i]);
+            out += '"';
         }
         out += "]";
     }
+    if (header.shard.sharded())
+        out += ",\"shard\":\"" + header.shard.str() + "\"";
     return out + "}";
+}
+
+/**
+ * The shared body of loadJournal/loadShardJournal: @p columnsFor yields
+ * the column layout record r must decode against.
+ */
+template <typename ColumnsFor>
+bool
+loadJournalImpl(const std::string &path, const JournalHeader &expect,
+                ColumnsFor &&columnsFor, std::vector<JournalRecord> &out,
+                JournalResume *resume)
+{
+    out.clear();
+    if (resume)
+        *resume = JournalResume{};
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::string line;
+    // The header must be intact *and* newline-terminated; a journal
+    // torn inside its header holds nothing usable.
+    if (!std::getline(in, line) || in.eof())
+        return false;
+    JournalHeader found;
+    if (!decodeHeader(line, found) || !(found == expect))
+        return false;
+    std::uint64_t bytes = line.size() + 1;
+    bool torn = false;
+    while (std::getline(in, line)) {
+        // A final line that lost its newline is treated as torn even if
+        // it parses: appending after it would weld two records into one
+        // unreadable line.  The resume point is the last intact record.
+        const bool terminated = !in.eof();
+        JournalRecord record;
+        if (!terminated || !decodeRecord(line, record, columnsFor(out.size()))) {
+            torn = true;
+            break;
+        }
+        bytes += line.size() + 1;
+        out.push_back(std::move(record));
+    }
+    if (resume) {
+        resume->tornTail = torn;
+        resume->cleanBytes = bytes;
+    }
+    return true;
 }
 
 } // namespace
@@ -285,33 +364,33 @@ decodeRecord(const std::string &line, JournalRecord &out,
 }
 
 bool
+decodeHeader(const std::string &line, JournalHeader &out)
+{
+    out = JournalHeader{};
+    if (line.find("\"absim_journal\":1") == std::string::npos ||
+        !extractString(line, "title", out.title) ||
+        !extractString(line, "app", out.app) ||
+        !extractString(line, "topology", out.topology) ||
+        !extractString(line, "metric", out.metric) ||
+        !extractStringArray(line, "machines", out.machines))
+        return false;
+    std::string shard;
+    if (extractString(line, "shard", shard))
+        return ShardSpec::parse(shard, out.shard);
+    return true;
+}
+
+bool
 loadJournal(const std::string &path, const JournalHeader &expect,
             const std::vector<std::string> &columns,
-            std::vector<JournalRecord> &out)
+            std::vector<JournalRecord> &out, JournalResume *resume)
 {
-    out.clear();
-    std::ifstream in(path);
-    if (!in)
-        return false;
-    std::string line;
-    if (!std::getline(in, line))
-        return false;
-    JournalHeader found;
-    if (line.find("\"absim_journal\":1") == std::string::npos ||
-        !extractString(line, "title", found.title) ||
-        !extractString(line, "app", found.app) ||
-        !extractString(line, "topology", found.topology) ||
-        !extractString(line, "metric", found.metric) ||
-        !extractStringArray(line, "machines", found.machines) ||
-        !(found == expect))
-        return false;
-    while (std::getline(in, line)) {
-        JournalRecord record;
-        if (!decodeRecord(line, record, columns))
-            break; // Torn trailing write: drop it and everything after.
-        out.push_back(std::move(record));
-    }
-    return true;
+    return loadJournalImpl(
+        path, expect,
+        [&](std::size_t) -> const std::vector<std::string> & {
+            return columns;
+        },
+        out, resume);
 }
 
 bool
@@ -321,19 +400,111 @@ loadJournal(const std::string &path, const JournalHeader &expect,
     return loadJournal(path, expect, defaultJournalColumns(), out);
 }
 
+bool
+loadShardJournal(const std::string &path, const JournalHeader &expect,
+                 const std::vector<std::string> &columns,
+                 std::vector<JournalRecord> &out, JournalResume *resume)
+{
+    out.clear();
+    if (!expect.shard.valid() || columns.empty())
+        return false;
+    const ShardSpec shard = expect.shard;
+    return loadJournalImpl(
+        path, expect,
+        [&](std::size_t r) -> std::vector<std::string> {
+            // Record r covers row-major item index + r*count; its one
+            // success column is that item's machine.
+            const std::uint64_t item =
+                shard.index + static_cast<std::uint64_t>(r) * shard.count;
+            return {columns[item % columns.size()]};
+        },
+        out, resume);
+}
+
+bool
+JournalWriter::start(const std::string &path, const JournalHeader &header,
+                     unsigned fsyncEvery)
+{
+    close();
+    interval_ = fsyncEvery != 0 ? fsyncEvery : 1;
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        return false;
+    const std::string line = encodeHeader(header) + "\n";
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+    // The header is durable before the first record: a merge or resume
+    // must never see records under a lost header.
+    sync();
+    return true;
+}
+
+bool
+JournalWriter::resume(const std::string &path, std::uint64_t cleanBytes,
+                      unsigned fsyncEvery)
+{
+    close();
+    interval_ = fsyncEvery != 0 ? fsyncEvery : 1;
+    // Drop any torn tail before appending: writing after a record that
+    // lost its newline would weld the two into one unreadable line.
+    if (::truncate(path.c_str(), static_cast<off_t>(cleanBytes)) != 0)
+        return false;
+    file_ = std::fopen(path.c_str(), "ab");
+    return file_ != nullptr;
+}
+
+void
+JournalWriter::append(const JournalRecord &record,
+                      const std::vector<std::string> &columns)
+{
+    if (file_ == nullptr)
+        return;
+    const std::string line = encodeRecord(record, columns) + "\n";
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+    if (++sinceSync_ >= interval_)
+        sync();
+}
+
+void
+JournalWriter::sync()
+{
+    if (file_ != nullptr) {
+        ::fsync(fileno(file_));
+        sinceSync_ = 0;
+    }
+}
+
+void
+JournalWriter::close()
+{
+    if (file_ == nullptr)
+        return;
+    std::fflush(file_);
+    sync();
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
 void
 startJournal(const std::string &path, const JournalHeader &header)
 {
-    std::ofstream out(path, std::ios::trunc);
-    out << encodeHeader(header) << "\n" << std::flush;
+    JournalWriter writer;
+    (void)writer.start(path, header);
 }
 
 void
 appendJournal(const std::string &path, const JournalRecord &record,
               const std::vector<std::string> &columns)
 {
-    std::ofstream out(path, std::ios::app);
-    out << encodeRecord(record, columns) << "\n" << std::flush;
+    std::FILE *file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr)
+        return;
+    const std::string line = encodeRecord(record, columns) + "\n";
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fflush(file);
+    ::fsync(fileno(file));
+    std::fclose(file);
 }
 
 } // namespace absim::core

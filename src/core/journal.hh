@@ -4,13 +4,13 @@
  * sweeps.
  *
  * Each figure sweep appends one JSON line per finished point (success
- * or failure) to a journal file, flushing after every record.  When a
- * figure binary is re-run — after a crash, a SIGKILL between points,
- * or an interactive interrupt — the sweep reloads the journal, skips
- * every point already recorded, and completes only the remainder.
- * Because the simulator is deterministic and doubles round-trip
- * through "%.17g", a resumed sweep produces byte-identical final JSON
- * to an uninterrupted one.
+ * or failure) to a journal file, flushing after every record and
+ * fsyncing periodically (see JournalWriter).  When a figure binary is
+ * re-run — after a crash, a SIGKILL between points, or an interactive
+ * interrupt — the sweep reloads the journal, skips every point already
+ * recorded, and completes only the remainder.  Because the simulator is
+ * deterministic and doubles round-trip through "%.17g", a resumed sweep
+ * produces byte-identical final JSON to an uninterrupted one.
  *
  * File format (one JSON object per line):
  *
@@ -24,10 +24,23 @@
  * other machine set adds a "machines" array to its header line, so a
  * journal can never resume a sweep with different columns.
  *
+ * Sharded sweeps (SweepOptions::shard, --shard K/N) write one record
+ * per owned (point x machine) work item instead of one per point: a
+ * success record carries a single column (the item's machine), failures
+ * keep the per-machine failure layout.  The header stamps both the
+ * machine columns and the shard spec ("shard":"K/N"), so a shard
+ * journal never resumes a mismatched shard, and records are strictly
+ * positional — the r-th record of shard K/N is row-major work item
+ * K + r*N.  core/journal_merge.hh reassembles N shard journals into the
+ * canonical serial journal.
+ *
  * The first line identifies the sweep; a journal whose header does not
  * match the running sweep is ignored and rewritten (it belongs to a
  * different figure or an older layout).  A torn trailing line (the
- * process died mid-write) is discarded along with anything after it.
+ * process died mid-write, or the line lost its newline) is discarded
+ * along with anything after it, and the loader reports the length of
+ * the clean prefix so a resume can truncate the tear away before
+ * appending — a torn tail is a clean resume point, never corruption.
  * The parser handles exactly what the encoder emits — flat objects of
  * string and number fields plus the header's string array — not
  * general JSON.
@@ -37,6 +50,7 @@
 #define ABSIM_CORE_JOURNAL_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -45,6 +59,33 @@ namespace absim::core {
 /** The classic trio's record columns, the layout every journal used
  *  before machine sets became configurable. */
 const std::vector<std::string> &defaultJournalColumns();
+
+/**
+ * Deterministic shard of a sweep's (point x machine) work grid.
+ *
+ * Work items are indexed row-major (point-major, machine-minor) over
+ * the full grid; shard {index, count} owns item g iff
+ * g % count == index.  The default {0, 1} is the unsharded whole.
+ */
+struct ShardSpec
+{
+    std::uint32_t index = 0;
+    std::uint32_t count = 1;
+
+    bool sharded() const { return count > 1; }
+    bool valid() const { return count >= 1 && index < count; }
+
+    /** True if this shard owns row-major work item @p item. */
+    bool owns(std::size_t item) const { return item % count == index; }
+
+    /** "K/N", the CLI/env/header spelling. */
+    std::string str() const;
+
+    /** Parse "K/N" with 0 <= K < N; rejects garbage and signs. */
+    static bool parse(const std::string &text, ShardSpec &out);
+
+    bool operator==(const ShardSpec &other) const = default;
+};
 
 /** Identity of the sweep a journal belongs to. */
 struct JournalHeader
@@ -55,8 +96,13 @@ struct JournalHeader
     std::string metric;
 
     /** Column names of the swept machines; empty for the classic trio
-     *  (kept out of the header line for byte-compatibility). */
+     *  (kept out of the header line for byte-compatibility).  Shard
+     *  journals always stamp the columns. */
     std::vector<std::string> machines;
+
+    /** Which shard of the sweep this journal holds; unsharded journals
+     *  keep the default (and their legacy header bytes). */
+    ShardSpec shard;
 
     bool operator==(const JournalHeader &other) const = default;
 };
@@ -68,7 +114,8 @@ struct JournalRecord
 
     bool failed = false;
 
-    /** Success payload (failed == false), in sweep column order. */
+    /** Success payload (failed == false), in sweep column order.  A
+     *  shard journal's success records hold exactly one value. */
     std::vector<double> values;
 
     /** Failure payload (failed == true). */
@@ -105,24 +152,109 @@ bool decodeRecord(const std::string &line, JournalRecord &out,
                       defaultJournalColumns());
 
 /**
+ * Parse a journal header line (the "absim_journal":1 line).
+ * @return false if the line is not a well-formed header.
+ */
+bool decodeHeader(const std::string &line, JournalHeader &out);
+
+/** What loadJournal()/loadShardJournal() found at the end of the file:
+ *  where the valid prefix ends, and whether a torn tail was dropped. */
+struct JournalResume
+{
+    /** A trailing record was torn (malformed or missing its newline)
+     *  and dropped together with anything after it. */
+    bool tornTail = false;
+
+    /** Byte length of the valid prefix (header + intact records).  The
+     *  clean resume point: truncate here before appending. */
+    std::uint64_t cleanBytes = 0;
+};
+
+/**
  * Load a journal.
  *
  * @return true and the usable records if @p path exists and its header
  *         matches @p expect; false (and no records) otherwise.
- *         Parsing stops at the first malformed line.
+ *         Parsing stops at the first malformed or unterminated line;
+ *         @p resume (optional) reports the clean-prefix length so the
+ *         caller can truncate the tear before appending.
  */
 bool loadJournal(const std::string &path, const JournalHeader &expect,
                  const std::vector<std::string> &columns,
-                 std::vector<JournalRecord> &out);
+                 std::vector<JournalRecord> &out,
+                 JournalResume *resume = nullptr);
 
 /** Classic-trio overload of loadJournal. */
 bool loadJournal(const std::string &path, const JournalHeader &expect,
                  std::vector<JournalRecord> &out);
 
-/** Create/truncate the journal and write its header line. */
+/**
+ * Load a shard journal (one record per owned (point x machine) item).
+ * @p expect.shard must be a valid spec; record r decodes against the
+ * single column of row-major item expect.shard.index + r*count.  Same
+ * header-match and torn-tail semantics as loadJournal().
+ */
+bool loadShardJournal(const std::string &path, const JournalHeader &expect,
+                      const std::vector<std::string> &columns,
+                      std::vector<JournalRecord> &out,
+                      JournalResume *resume = nullptr);
+
+/** Records between fsyncs in JournalWriter: the bounded window an OS
+ *  crash (not a process crash — every record is flushed) may lose. */
+inline constexpr unsigned kJournalFsyncInterval = 8;
+
+/**
+ * Durable journal writer: keeps the file open across a sweep, flushes
+ * every record to the OS, and fsyncs the header, every
+ * kJournalFsyncInterval records, and on close — so a record
+ * acknowledged to the sweep's in-order frontier survives an OS crash
+ * up to the bounded fsync window, and a resume recomputes at most that
+ * window.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter() { close(); }
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Create/truncate @p path and write + fsync the header line. */
+    bool start(const std::string &path, const JournalHeader &header,
+               unsigned fsyncEvery = kJournalFsyncInterval);
+
+    /**
+     * Resume an existing journal: truncate it to @p cleanBytes (the
+     * JournalResume::cleanBytes of the load, dropping any torn tail)
+     * and append after that point.
+     */
+    bool resume(const std::string &path, std::uint64_t cleanBytes,
+                unsigned fsyncEvery = kJournalFsyncInterval);
+
+    bool isOpen() const { return file_ != nullptr; }
+
+    /** Append one record: written + flushed immediately, fsynced every
+     *  fsyncEvery records (no-op when the writer is not open). */
+    void append(const JournalRecord &record,
+                const std::vector<std::string> &columns =
+                    defaultJournalColumns());
+
+    /** Flush + fsync + close; idempotent, also run by the destructor. */
+    void close();
+
+  private:
+    void sync();
+
+    std::FILE *file_ = nullptr;
+    unsigned interval_ = kJournalFsyncInterval;
+    unsigned sinceSync_ = 0;
+};
+
+/** Create/truncate the journal and write its header line (fsynced). */
 void startJournal(const std::string &path, const JournalHeader &header);
 
-/** Append one record and flush (the checkpoint write). */
+/** Append one record, flush and fsync (the one-shot checkpoint write;
+ *  sweeps hold a JournalWriter instead). */
 void appendJournal(const std::string &path, const JournalRecord &record,
                    const std::vector<std::string> &columns =
                        defaultJournalColumns());

@@ -15,6 +15,7 @@
 
 #include "core/figures.hh"
 #include "core/journal.hh"
+#include "core/journal_merge.hh"
 
 namespace {
 
@@ -70,6 +71,58 @@ TEST(Journal, DecodeRejectsTornLines)
         core::decodeRecord("{\"procs\":8,\"machine\":\"logp", out));
 }
 
+TEST(ShardSpec, ParsesValidSpecsAndRejectsGarbage)
+{
+    core::ShardSpec spec;
+    ASSERT_TRUE(core::ShardSpec::parse("0/2", spec));
+    EXPECT_EQ(spec.index, 0u);
+    EXPECT_EQ(spec.count, 2u);
+    EXPECT_TRUE(spec.sharded());
+    EXPECT_EQ(spec.str(), "0/2");
+    EXPECT_TRUE(spec.owns(0));
+    EXPECT_FALSE(spec.owns(1));
+    EXPECT_TRUE(spec.owns(4));
+
+    ASSERT_TRUE(core::ShardSpec::parse("3/8", spec));
+    EXPECT_EQ(spec.index, 3u);
+    EXPECT_EQ(spec.count, 8u);
+
+    ASSERT_TRUE(core::ShardSpec::parse("0/1", spec));
+    EXPECT_FALSE(spec.sharded());
+
+    for (const char *bad : {"", "2/2", "3/2", "a/2", "1/b", "-1/2",
+                            "1/-2", "1/0", "1/", "/2", "1/2/3", "1 /2",
+                            "1/2 ", "0x1/2"})
+        EXPECT_FALSE(core::ShardSpec::parse(bad, spec)) << bad;
+}
+
+TEST(Journal, HeaderStampsShardSpecAndKeepsLegacyBytes)
+{
+    const std::string path = testing::TempDir() + "absim_shard_hdr.jsonl";
+
+    // An unsharded classic-trio header keeps the exact legacy line.
+    core::startJournal(path, {"t", "fft", "full", "exec_time"});
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line,
+              "{\"absim_journal\":1,\"title\":\"t\",\"app\":\"fft\","
+              "\"topology\":\"full\",\"metric\":\"exec_time\"}");
+    in.close();
+
+    // A shard header round-trips machines and the spec.
+    core::JournalHeader header{"t", "fft", "full", "exec_time",
+                               {"target", "logp", "logpc"},
+                               core::ShardSpec{1, 2}};
+    core::startJournal(path, header);
+    std::ifstream in2(path);
+    ASSERT_TRUE(std::getline(in2, line));
+    core::JournalHeader decoded;
+    ASSERT_TRUE(core::decodeHeader(line, decoded));
+    EXPECT_EQ(decoded, header);
+    EXPECT_EQ(decoded.shard.str(), "1/2");
+}
+
 TEST(Journal, LoadSkipsTornTrailingWrite)
 {
     const std::string path = testing::TempDir() + "absim_torn.jsonl";
@@ -85,6 +138,81 @@ TEST(Journal, LoadSkipsTornTrailingWrite)
     ASSERT_TRUE(core::loadJournal(path, header, records));
     ASSERT_EQ(records.size(), 1u);
     EXPECT_EQ(records[0].procs, 4u);
+}
+
+TEST(Journal, LoadReportsTornTailAndResumeTruncatesIt)
+{
+    const std::string path = testing::TempDir() + "absim_tear.jsonl";
+    const core::JournalHeader header{"t", "fft", "full", "exec_time"};
+    core::startJournal(path, header);
+    core::appendJournal(path, {4, false, {1.5, 2.5, 3.5}, "", "", ""});
+
+    std::uint64_t intact = 0;
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        intact = static_cast<std::uint64_t>(in.tellg());
+    }
+    {
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "{\"procs\":8,\"target\":9";
+    }
+
+    std::vector<core::JournalRecord> records;
+    core::JournalResume info;
+    ASSERT_TRUE(core::loadJournal(path, header,
+                                  core::defaultJournalColumns(), records,
+                                  &info));
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(info.tornTail);
+    EXPECT_EQ(info.cleanBytes, intact);
+
+    // Resume welds nothing onto the tear: the writer truncates to the
+    // clean prefix before appending.
+    core::JournalWriter writer;
+    ASSERT_TRUE(writer.resume(path, info.cleanBytes));
+    writer.append({8, false, {4.5, 5.5, 6.5}, "", "", ""});
+    writer.close();
+
+    records.clear();
+    ASSERT_TRUE(core::loadJournal(path, header,
+                                  core::defaultJournalColumns(), records,
+                                  &info));
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_FALSE(info.tornTail);
+    EXPECT_EQ(records[1].procs, 8u);
+}
+
+TEST(Journal, UnterminatedFinalRecordIsTornEvenIfParseable)
+{
+    const std::string path = testing::TempDir() + "absim_noeol.jsonl";
+    const core::JournalHeader header{"t", "fft", "full", "exec_time"};
+    core::startJournal(path, header);
+    core::appendJournal(path, {4, false, {1.0, 2.0, 3.0}, "", "", ""});
+    core::appendJournal(path, {8, false, {4.0, 5.0, 6.0}, "", "", ""});
+
+    // Chop the final newline: the last record still parses, but without
+    // its terminator it may be half of a longer write — drop it.
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        bytes = buf.str();
+    }
+    ASSERT_EQ(bytes.back(), '\n');
+    {
+        std::ofstream out(path, std::ios::trunc | std::ios::binary);
+        out << bytes.substr(0, bytes.size() - 1);
+    }
+
+    std::vector<core::JournalRecord> records;
+    core::JournalResume info;
+    ASSERT_TRUE(core::loadJournal(path, header,
+                                  core::defaultJournalColumns(), records,
+                                  &info));
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(info.tornTail);
+    EXPECT_LT(info.cleanBytes, bytes.size());
 }
 
 TEST(Journal, HeaderMismatchIgnoresJournal)
@@ -181,6 +309,55 @@ TEST(SweepSafe, InterruptedSweepResumesByteIdentical)
     EXPECT_EQ(records.size(), 3u);
 }
 
+TEST(SweepSafe, TornTailResumesByteIdentical)
+{
+    const core::RunConfig base = smallConfig();
+    const std::string path = testing::TempDir() + "absim_tear_resume.jsonl";
+    std::remove(path.c_str());
+    core::SweepOptions options;
+    options.journalPath = path;
+
+    const auto full = core::sweepFigureSafe(
+        "tear", base, net::TopologyKind::Full, core::Metric::ExecTime,
+        {1, 2, 4}, options);
+    ASSERT_TRUE(full.complete());
+    std::ostringstream json_full;
+    core::writeFigureJson(json_full, full);
+    std::string journal_full;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        journal_full = buf.str();
+    }
+
+    // Simulate a crash mid-write of the last record: cut into the
+    // middle of its line, leaving no trailing newline.
+    {
+        std::ofstream out(path, std::ios::trunc | std::ios::binary);
+        out << journal_full.substr(0, journal_full.size() - 7);
+    }
+
+    const auto resumed = core::sweepFigureSafe(
+        "tear", base, net::TopologyKind::Full, core::Metric::ExecTime,
+        {1, 2, 4}, options);
+    ASSERT_TRUE(resumed.complete());
+    std::ostringstream json_resumed;
+    core::writeFigureJson(json_resumed, resumed);
+    EXPECT_EQ(json_full.str(), json_resumed.str());
+
+    // The resumed journal truncated the tear and rewrote the record:
+    // byte-identical to the uninterrupted journal, no torn tail left.
+    std::string journal_resumed;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        journal_resumed = buf.str();
+    }
+    EXPECT_EQ(journal_resumed, journal_full);
+}
+
 TEST(SweepSafe, MismatchedJournalIsRewrittenNotTrusted)
 {
     const core::RunConfig base = smallConfig();
@@ -205,6 +382,269 @@ TEST(SweepSafe, MismatchedJournalIsRewrittenNotTrusted)
     ASSERT_TRUE(core::loadJournal(
         path, {"stale", base.app, "full", "exec_time"}, records));
     ASSERT_EQ(records.size(), 1u);
+}
+
+// ---- Shard-journal merge ----------------------------------------------
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Write a shard journal: header + one single-column record per line. */
+std::string
+writeShard(const std::string &name, const core::JournalHeader &header,
+           const std::vector<core::JournalRecord> &records,
+           const std::vector<std::string> &record_columns)
+{
+    const std::string path = testing::TempDir() + name;
+    core::JournalWriter writer;
+    EXPECT_TRUE(writer.start(path, header));
+    for (std::size_t i = 0; i < records.size(); ++i)
+        writer.append(records[i],
+                      records[i].failed
+                          ? core::defaultJournalColumns()
+                          : std::vector<std::string>{record_columns[i]});
+    writer.close();
+    return path;
+}
+
+/** A one-machine sweep header ("m1") stamped for shard K/N. */
+core::JournalHeader
+oneColumnHeader(std::uint32_t index, std::uint32_t count)
+{
+    return {"t",   "fft", "full", "exec_time",
+            {"m1"}, core::ShardSpec{index, count}};
+}
+
+} // namespace
+
+TEST(JournalMerge, ReassemblesSerialJournalBytes)
+{
+    // One machine, points P = 1,2,4,8 split across two shards.
+    const std::string s0 = writeShard(
+        "absim_merge_s0.jsonl", oneColumnHeader(0, 2),
+        {{1, false, {0.5}, "", "", ""}, {4, false, {1.5}, "", "", ""}},
+        {"m1", "m1"});
+    const std::string s1 = writeShard(
+        "absim_merge_s1.jsonl", oneColumnHeader(1, 2),
+        {{2, false, {1.0}, "", "", ""}, {8, false, {2.0}, "", "", ""}},
+        {"m1", "m1"});
+
+    // Shard order on the command line must not matter.
+    const core::MergeResult merge = core::mergeJournals({s1, s0});
+    ASSERT_TRUE(merge.ok()) << (merge.errors.empty()
+                                    ? ""
+                                    : merge.errors[0]);
+    EXPECT_TRUE(merge.warnings.empty());
+    ASSERT_EQ(merge.records.size(), 4u);
+    EXPECT_EQ(merge.records[0].procs, 1u);
+    EXPECT_EQ(merge.records[3].procs, 8u);
+    EXPECT_FALSE(merge.header.shard.sharded());
+
+    const std::string merged_path =
+        testing::TempDir() + "absim_merge_out.jsonl";
+    ASSERT_TRUE(core::writeMergedJournal(merged_path, merge));
+
+    // The serial sweep would have journaled the same bytes.
+    const std::string serial_path =
+        testing::TempDir() + "absim_merge_serial.jsonl";
+    core::JournalHeader serial = oneColumnHeader(0, 1);
+    serial.shard = {};
+    core::startJournal(serial_path, serial);
+    const std::vector<std::pair<std::uint32_t, double>> points = {
+        {1, 0.5}, {2, 1.0}, {4, 1.5}, {8, 2.0}};
+    for (const auto &[p, v] : points)
+        core::appendJournal(serial_path, {p, false, {v}, "", "", ""},
+                            {"m1"});
+    EXPECT_EQ(slurp(merged_path), slurp(serial_path));
+}
+
+TEST(JournalMerge, ClassicTrioMergeRestoresLegacyHeader)
+{
+    // The classic trio, points P = 2,4: six items interleaved mod 2.
+    const std::vector<std::string> trio = core::defaultJournalColumns();
+    core::JournalHeader h0{"t", "is", "full", "exec_time", trio,
+                           core::ShardSpec{0, 2}};
+    core::JournalHeader h1{"t", "is", "full", "exec_time", trio,
+                           core::ShardSpec{1, 2}};
+    const std::string s0 = writeShard(
+        "absim_trio_s0.jsonl", h0,
+        {{2, false, {1.0}, "", "", ""}, {2, false, {3.0}, "", "", ""},
+         {4, false, {5.0}, "", "", ""}},
+        {"target", "logpc", "logp"});
+    const std::string s1 = writeShard(
+        "absim_trio_s1.jsonl", h1,
+        {{2, false, {2.0}, "", "", ""}, {4, false, {4.0}, "", "", ""},
+         {4, false, {6.0}, "", "", ""}},
+        {"logp", "target", "logpc"});
+
+    const core::MergeResult merge = core::mergeJournals({s0, s1});
+    ASSERT_TRUE(merge.ok()) << (merge.errors.empty()
+                                    ? ""
+                                    : merge.errors[0]);
+    const std::string merged_path =
+        testing::TempDir() + "absim_trio_out.jsonl";
+    ASSERT_TRUE(core::writeMergedJournal(merged_path, merge));
+
+    const std::string serial_path =
+        testing::TempDir() + "absim_trio_serial.jsonl";
+    core::startJournal(serial_path, {"t", "is", "full", "exec_time"});
+    core::appendJournal(serial_path,
+                        {2, false, {1.0, 2.0, 3.0}, "", "", ""});
+    core::appendJournal(serial_path,
+                        {4, false, {4.0, 5.0, 6.0}, "", "", ""});
+    EXPECT_EQ(slurp(merged_path), slurp(serial_path));
+}
+
+TEST(JournalMerge, ReproducesSerialFailureRecordLayout)
+{
+    const std::string s0 = writeShard(
+        "absim_fail_s0.jsonl", oneColumnHeader(0, 2),
+        {{1, false, {0.5}, "", "", ""},
+         {4, true, {}, "logp", "Deadlock", "stuck"}},
+        {"m1", "m1"});
+    const std::string s1 = writeShard("absim_fail_s1.jsonl",
+                                      oneColumnHeader(1, 2),
+                                      {{2, false, {1.0}, "", "", ""}},
+                                      {"m1"});
+
+    const core::MergeResult merge = core::mergeJournals({s0, s1});
+    ASSERT_TRUE(merge.ok()) << (merge.errors.empty()
+                                    ? ""
+                                    : merge.errors[0]);
+    ASSERT_EQ(merge.records.size(), 3u);
+    EXPECT_TRUE(merge.records[2].failed);
+    EXPECT_EQ(merge.records[2].machine, "logp");
+    EXPECT_EQ(merge.records[2].error, "Deadlock");
+}
+
+TEST(JournalMerge, RejectsMismatchedHeaders)
+{
+    core::JournalHeader other = oneColumnHeader(1, 2);
+    other.app = "cg";
+    const std::string s0 = writeShard("absim_mm_s0.jsonl",
+                                      oneColumnHeader(0, 2),
+                                      {{1, false, {0.5}, "", "", ""}},
+                                      {"m1"});
+    const std::string s1 = writeShard("absim_mm_s1.jsonl", other,
+                                      {{2, false, {1.0}, "", "", ""}},
+                                      {"m1"});
+    const core::MergeResult merge = core::mergeJournals({s0, s1});
+    ASSERT_FALSE(merge.ok());
+    EXPECT_NE(merge.errors[0].find("shard-header-mismatch"),
+              std::string::npos)
+        << merge.errors[0];
+}
+
+TEST(JournalMerge, RejectsWrongShardCountAndDuplicateIndex)
+{
+    const std::string s0 = writeShard("absim_cnt_s0.jsonl",
+                                      oneColumnHeader(0, 2),
+                                      {{1, false, {0.5}, "", "", ""}},
+                                      {"m1"});
+    const core::MergeResult alone = core::mergeJournals({s0});
+    ASSERT_FALSE(alone.ok());
+    EXPECT_NE(alone.errors[0].find("shard-count-mismatch"),
+              std::string::npos)
+        << alone.errors[0];
+
+    const core::MergeResult twice = core::mergeJournals({s0, s0});
+    ASSERT_FALSE(twice.ok());
+    EXPECT_NE(twice.errors[0].find("shard-duplicate-index"),
+              std::string::npos)
+        << twice.errors[0];
+}
+
+TEST(JournalMerge, DetectsGapInShortShard)
+{
+    // Shard 1 reached item 3 but shard 0 only recorded item 0: item 2
+    // is missing — shard 0 must be rerun, not papered over.
+    const std::string s0 = writeShard("absim_gap_s0.jsonl",
+                                      oneColumnHeader(0, 2),
+                                      {{1, false, {0.5}, "", "", ""}},
+                                      {"m1"});
+    const std::string s1 = writeShard(
+        "absim_gap_s1.jsonl", oneColumnHeader(1, 2),
+        {{2, false, {1.0}, "", "", ""}, {8, false, {2.0}, "", "", ""}},
+        {"m1", "m1"});
+    const core::MergeResult merge = core::mergeJournals({s0, s1});
+    ASSERT_FALSE(merge.ok());
+    EXPECT_NE(merge.errors[0].find("merge-gap"), std::string::npos)
+        << merge.errors[0];
+    EXPECT_TRUE(merge.records.empty());
+}
+
+TEST(JournalMerge, DetectsDuplicatedRecord)
+{
+    // A duplicated line in a one-machine shard still *parses* at every
+    // position — only the (procs, machine) seen-set can catch it.
+    const std::string s0 = writeShard(
+        "absim_dup_s0.jsonl", oneColumnHeader(0, 2),
+        {{1, false, {0.5}, "", "", ""}, {4, false, {1.5}, "", "", ""},
+         {4, false, {1.5}, "", "", ""}},
+        {"m1", "m1", "m1"});
+    const std::string s1 = writeShard(
+        "absim_dup_s1.jsonl", oneColumnHeader(1, 2),
+        {{2, false, {1.0}, "", "", ""}, {8, false, {2.0}, "", "", ""}},
+        {"m1", "m1"});
+    const core::MergeResult merge = core::mergeJournals({s0, s1});
+    ASSERT_FALSE(merge.ok());
+    EXPECT_NE(merge.errors[0].find("merge-duplicate"), std::string::npos)
+        << merge.errors[0];
+}
+
+TEST(JournalMerge, DetectsProcsMismatchAcrossShards)
+{
+    // Two machines, one point: the shards disagree on what P the point
+    // sweeps — they came from different grids.
+    core::JournalHeader h0{"t", "fft", "full", "exec_time",
+                           {"m1", "m2"}, core::ShardSpec{0, 2}};
+    core::JournalHeader h1{"t", "fft", "full", "exec_time",
+                           {"m1", "m2"}, core::ShardSpec{1, 2}};
+    const std::string s0 = writeShard("absim_pm_s0.jsonl", h0,
+                                      {{1, false, {0.5}, "", "", ""}},
+                                      {"m1"});
+    const std::string s1 = writeShard("absim_pm_s1.jsonl", h1,
+                                      {{2, false, {1.0}, "", "", ""}},
+                                      {"m2"});
+    const core::MergeResult merge = core::mergeJournals({s0, s1});
+    ASSERT_FALSE(merge.ok());
+    EXPECT_NE(merge.errors[0].find("merge-procs-mismatch"),
+              std::string::npos)
+        << merge.errors[0];
+}
+
+TEST(JournalMerge, TornTailIsAWarningWhenNothingIsMissing)
+{
+    const std::string s0 = writeShard(
+        "absim_warn_s0.jsonl", oneColumnHeader(0, 2),
+        {{1, false, {0.5}, "", "", ""}, {4, false, {1.5}, "", "", ""}},
+        {"m1", "m1"});
+    const std::string s1 = writeShard(
+        "absim_warn_s1.jsonl", oneColumnHeader(1, 2),
+        {{2, false, {1.0}, "", "", ""}, {8, false, {2.0}, "", "", ""}},
+        {"m1", "m1"});
+    {
+        // A crash left half a record beyond shard 0's complete set.
+        std::ofstream out(s0, std::ios::app | std::ios::binary);
+        out << "{\"procs\":16,\"m1\":9";
+    }
+    const core::MergeResult merge = core::mergeJournals({s0, s1});
+    ASSERT_TRUE(merge.ok()) << (merge.errors.empty()
+                                    ? ""
+                                    : merge.errors[0]);
+    ASSERT_EQ(merge.warnings.size(), 1u);
+    EXPECT_NE(merge.warnings[0].find("shard-torn-tail"),
+              std::string::npos)
+        << merge.warnings[0];
+    EXPECT_EQ(merge.records.size(), 4u);
 }
 
 TEST(SweepSafe, FigureJsonIsWellFormedAndDeterministic)

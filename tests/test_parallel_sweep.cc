@@ -14,9 +14,11 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "core/figures.hh"
+#include "core/journal_merge.hh"
 
 namespace {
 
@@ -166,6 +168,158 @@ TEST(ParallelSweep, JournalResumeComposesWithParallelExecution)
     EXPECT_EQ(jsonFor(reference), jsonFor(resumed));
     EXPECT_EQ(slurp(reference_options.journalPath),
               slurp(resumed_options.journalPath));
+}
+
+// ---- Sharded sweeps ----------------------------------------------------
+
+namespace {
+
+/** Run shard K/N of the sweep into its own journal; returns the path. */
+std::string
+runShard(const std::string &tag, const core::RunConfig &base,
+         const std::vector<std::uint32_t> &procs, std::uint32_t index,
+         std::uint32_t count, const core::RunPolicy &policy = {})
+{
+    core::SweepOptions options;
+    options.policy = policy;
+    options.shard = {index, count};
+    options.journalPath = testing::TempDir() + tag + ".shard" +
+                          std::to_string(index) + "of" +
+                          std::to_string(count) + ".journal.jsonl";
+    std::remove(options.journalPath.c_str());
+    (void)core::sweepFigureParallel(tag, base, net::TopologyKind::Full,
+                                    core::Metric::ExecTime, procs,
+                                    options);
+    return options.journalPath;
+}
+
+/** Serial reference sweep journaling into <tag>.journal.jsonl. */
+core::SweepResult
+runSerial(const std::string &tag, const core::RunConfig &base,
+          const std::vector<std::uint32_t> &procs, std::string &path,
+          const core::RunPolicy &policy = {})
+{
+    core::SweepOptions options;
+    options.policy = policy;
+    options.journalPath = testing::TempDir() + tag + ".journal.jsonl";
+    std::remove(options.journalPath.c_str());
+    path = options.journalPath;
+    return core::sweepFigureParallel(tag, base, net::TopologyKind::Full,
+                                     core::Metric::ExecTime, procs,
+                                     options);
+}
+
+} // namespace
+
+TEST(ShardedSweep, TwoShardsMergeByteIdenticalToSerial)
+{
+    const core::RunConfig base = smallConfig(1);
+    const std::vector<std::uint32_t> procs{1, 2, 4, 8};
+
+    std::string serial_path;
+    const auto serial =
+        runSerial("sharded", base, procs, serial_path);
+    ASSERT_TRUE(serial.complete());
+
+    const std::string s0 = runShard("sharded", base, procs, 0, 2);
+    const std::string s1 = runShard("sharded", base, procs, 1, 2);
+
+    const core::MergeResult merge = core::mergeJournals({s0, s1});
+    ASSERT_TRUE(merge.ok()) << (merge.errors.empty()
+                                    ? ""
+                                    : merge.errors[0]);
+    const std::string merged_path =
+        testing::TempDir() + "sharded_merged.journal.jsonl";
+    ASSERT_TRUE(core::writeMergedJournal(merged_path, merge));
+    EXPECT_EQ(slurp(merged_path), slurp(serial_path));
+
+    // Replaying the merged journal reproduces the serial run end to
+    // end: every point comes from the journal, and the figure JSON —
+    // the artifact the figure writers emit — is byte-identical.
+    core::SweepOptions replay_options;
+    replay_options.journalPath = merged_path;
+    const auto replayed = core::sweepFigureParallel(
+        "sharded", base, net::TopologyKind::Full, core::Metric::ExecTime,
+        procs, replay_options);
+    ASSERT_TRUE(replayed.complete());
+    EXPECT_EQ(jsonFor(serial), jsonFor(replayed));
+    EXPECT_EQ(slurp(merged_path), slurp(serial_path));
+}
+
+TEST(ShardedSweep, ShardResumeComposesWithMerge)
+{
+    const core::RunConfig base = smallConfig(1);
+    const std::vector<std::uint32_t> procs{1, 2, 4, 8};
+
+    std::string serial_path;
+    const auto serial =
+        runSerial("shard_resume", base, procs, serial_path);
+    ASSERT_TRUE(serial.complete());
+
+    // Shard 0 is interrupted twice: first it only sees a truncated
+    // proc list (fewer owned items), then its journal tail is torn.
+    const std::string s0_partial =
+        runShard("shard_resume", base, {1, 2}, 0, 2);
+    {
+        std::string bytes = slurp(s0_partial);
+        ASSERT_GT(bytes.size(), 5u);
+        std::ofstream out(s0_partial,
+                          std::ios::trunc | std::ios::binary);
+        out << bytes.substr(0, bytes.size() - 5);
+    }
+    const std::string s0 = runShard("shard_resume", base, procs, 0, 2);
+    ASSERT_EQ(s0, s0_partial);
+    const std::string s1 = runShard("shard_resume", base, procs, 1, 2);
+
+    const core::MergeResult merge = core::mergeJournals({s0, s1});
+    ASSERT_TRUE(merge.ok()) << (merge.errors.empty()
+                                    ? ""
+                                    : merge.errors[0]);
+    const std::string merged_path =
+        testing::TempDir() + "shard_resume_merged.journal.jsonl";
+    ASSERT_TRUE(core::writeMergedJournal(merged_path, merge));
+    EXPECT_EQ(slurp(merged_path), slurp(serial_path));
+}
+
+TEST(ShardedSweep, MergeReproducesSerialFailureRecords)
+{
+    const core::RunConfig base = smallConfig(1);
+    const std::vector<std::uint32_t> procs{1, 2, 4};
+
+    // A tiny event budget fails the big points the same way in the
+    // serial run and in every shard (the budget is per run).
+    core::RunPolicy policy;
+    policy.budget.maxEvents = 300;
+    policy.maxAttempts = 1;
+
+    std::string serial_path;
+    const auto serial =
+        runSerial("shard_fail", base, procs, serial_path, policy);
+    ASSERT_FALSE(serial.complete());
+
+    const std::string s0 =
+        runShard("shard_fail", base, procs, 0, 2, policy);
+    const std::string s1 =
+        runShard("shard_fail", base, procs, 1, 2, policy);
+
+    const core::MergeResult merge = core::mergeJournals({s0, s1});
+    ASSERT_TRUE(merge.ok()) << (merge.errors.empty()
+                                    ? ""
+                                    : merge.errors[0]);
+    const std::string merged_path =
+        testing::TempDir() + "shard_fail_merged.journal.jsonl";
+    ASSERT_TRUE(core::writeMergedJournal(merged_path, merge));
+    EXPECT_EQ(slurp(merged_path), slurp(serial_path));
+}
+
+TEST(ShardedSweep, InvalidShardSpecThrows)
+{
+    core::SweepOptions options;
+    options.shard = {2, 2};
+    EXPECT_THROW((void)core::sweepFigureParallel(
+                     "bad", smallConfig(1), net::TopologyKind::Full,
+                     core::Metric::ExecTime, {1}, options),
+                 std::invalid_argument);
 }
 
 } // namespace
