@@ -75,7 +75,7 @@ runApp(const std::string &app, unsigned jobs, core::ShardSpec shard)
     options.jobs = jobs;
     options.shard = shard;
     options.machines = mach::allQuadrants();
-    if (const char *dir = std::getenv("ABSIM_JOURNAL_DIR")) {
+    if (const char *dir = core::envString("ABSIM_JOURNAL_DIR")) {
         std::string stem = "quadrants_" + app + "_full_exec_time";
         if (shard.sharded())
             stem += ".shard" + std::to_string(shard.index) + "of" +

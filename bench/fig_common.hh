@@ -156,7 +156,7 @@ runFigureMain(const std::string &title, const std::string &app,
                 std::to_string(shard.count);
 
     core::SweepOptions options;
-    if (const char *dir = std::getenv("ABSIM_JOURNAL_DIR"))
+    if (const char *dir = core::envString("ABSIM_JOURNAL_DIR"))
         options.journalPath =
             std::string(dir) + "/" + stem + ".journal.jsonl";
     options.policy.budget.maxEvents =
@@ -177,7 +177,7 @@ runFigureMain(const std::string &title, const std::string &app,
                   << f.machine << " error=" << f.error << ": " << f.message
                   << "\n";
 
-    if (const char *dir = std::getenv("ABSIM_CSV_DIR")) {
+    if (const char *dir = core::envString("ABSIM_CSV_DIR")) {
         const std::string path = std::string(dir) + "/" + stem + ".csv";
         std::ofstream csv(path);
         if (csv)
@@ -185,7 +185,7 @@ runFigureMain(const std::string &title, const std::string &app,
         else
             std::cerr << "warning: cannot write " << path << "\n";
     }
-    if (const char *dir = std::getenv("ABSIM_JSON_DIR")) {
+    if (const char *dir = core::envString("ABSIM_JSON_DIR")) {
         const std::string path = std::string(dir) + "/" + stem + ".json";
         std::ofstream json(path);
         if (json)

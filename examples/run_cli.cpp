@@ -25,6 +25,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/env.hh"
 #include "core/experiment.hh"
 #include "core/figures.hh"
 #include "fault/fault.hh"
@@ -108,9 +109,8 @@ joinNames(const std::vector<std::string> &names)
 std::uint64_t
 parseUint(const char *argv0, const std::string &flag, const char *text)
 {
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(text, &end, 10);
-    if (end == text || *end != '\0')
+    std::uint64_t v = 0;
+    if (!core::parseUint(text, v))
         badFlag(argv0, "invalid " + flag + " value '" + text +
                            "' (expected a non-negative integer)");
     return v;
@@ -119,9 +119,8 @@ parseUint(const char *argv0, const std::string &flag, const char *text)
 double
 parseDouble(const char *argv0, const std::string &flag, const char *text)
 {
-    char *end = nullptr;
-    const double v = std::strtod(text, &end);
-    if (end == text || *end != '\0' || v < 0.0)
+    double v = 0.0;
+    if (!core::parseDouble(text, v) || v < 0.0)
         badFlag(argv0, "invalid " + flag + " value '" + text +
                            "' (expected a non-negative number)");
     return v;

@@ -78,6 +78,13 @@ envDouble(const char *name, double fallback, double min)
     return v;
 }
 
+const char *
+envString(const char *name)
+{
+    const char *text = std::getenv(name);
+    return (text == nullptr || *text == '\0') ? nullptr : text;
+}
+
 ShardSpec
 envShard(const char *name)
 {

@@ -26,30 +26,39 @@ namespace absim::core {
  * leading/trailing garbage and overflow.
  * @return true and @p out on success.
  */
-bool parseUint(const char *text, std::uint64_t &out);
+[[nodiscard]] bool parseUint(const char *text, std::uint64_t &out);
 
 /** Parse a finite decimal number; rejects empty/garbage/trailing junk. */
-bool parseDouble(const char *text, double &out);
+[[nodiscard]] bool parseDouble(const char *text, double &out);
 
 /**
  * Read an unsigned integer environment knob.  Unset/empty yields
  * @p fallback; a malformed value or one outside [min, max] prints a
  * diagnostic naming the variable and exits 2.
  */
-std::uint64_t
+[[nodiscard]] std::uint64_t
 envUint(const char *name, std::uint64_t fallback, std::uint64_t min = 0,
         std::uint64_t max = std::numeric_limits<std::uint64_t>::max());
 
 /** Read a non-negative floating-point environment knob (same contract
  *  as envUint). */
-double envDouble(const char *name, double fallback, double min = 0.0);
+[[nodiscard]] double envDouble(const char *name, double fallback,
+                               double min = 0.0);
+
+/**
+ * Read a string environment knob (directory paths, feature toggles).
+ * The one sanctioned getenv() outside this funnel's own implementation
+ * (absim_lint rule G1 flags any other use).
+ * @return nullptr when the variable is unset or empty.
+ */
+[[nodiscard]] const char *envString(const char *name);
 
 /**
  * Read a shard spec ("K/N", 0 <= K < N) environment knob, e.g.
  * ABSIM_SHARD=1/4.  Unset/empty yields the unsharded default; a
  * malformed spec prints a diagnostic and exits 2.
  */
-ShardSpec envShard(const char *name);
+[[nodiscard]] ShardSpec envShard(const char *name);
 
 } // namespace absim::core
 

@@ -34,6 +34,7 @@ makeMachine(const RunConfig &config, sim::EventQueue &eq,
 stats::Profile
 runOneImpl(const RunConfig &config, const sim::RunBudget *budget)
 {
+    // absim-lint: D1 ok(wall-clock cost accounting for Profile.wallSeconds; never reaches simulated time or figure bytes)
     const auto wall_begin = std::chrono::steady_clock::now();
 
     // The run's ambient-state root: private check counters/options,
@@ -62,6 +63,7 @@ runOneImpl(const RunConfig &config, const sim::RunBudget *budget)
     }
 
     stats::Profile profile = runtime.collect();
+    // absim-lint: D1 ok(closing wall-clock stamp for Profile.wallSeconds, same contract as wall_begin above)
     const auto wall_end = std::chrono::steady_clock::now();
     profile.wallSeconds =
         std::chrono::duration<double>(wall_end - wall_begin).count();

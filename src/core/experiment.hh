@@ -100,8 +100,8 @@ using RunResult = Result<stats::Profile, RunError>;
  * invariant checkers degrade to a structured error instead of
  * aborting the process.
  */
-RunResult runOneSafe(const RunConfig &config,
-                     const RunPolicy &policy = {});
+[[nodiscard]] RunResult runOneSafe(const RunConfig &config,
+                                   const RunPolicy &policy = {});
 
 /**
  * Completion callback of runManySafe: invoked exactly once per config
@@ -130,10 +130,10 @@ using RunManyCallback =
  *              exactly as with plain runOneSafe).  Clamped to the
  *              number of configs.
  */
-std::vector<RunResult> runManySafe(const std::vector<RunConfig> &configs,
-                                   const RunPolicy &policy = {},
-                                   unsigned jobs = 1,
-                                   const RunManyCallback &onResult = {});
+[[nodiscard]] std::vector<RunResult>
+runManySafe(const std::vector<RunConfig> &configs,
+            const RunPolicy &policy = {}, unsigned jobs = 1,
+            const RunManyCallback &onResult = {});
 
 } // namespace absim::core
 

@@ -187,9 +187,10 @@ extractDouble(const std::string &line, const std::string &key,
     bool was_string = false;
     if (!extractField(line, key, token, was_string) || was_string)
         return false;
-    char *end = nullptr;
-    value = std::strtod(token.c_str(), &end);
-    return end != nullptr && *end == '\0';
+    // The checked parser from core/env: rejects empty tokens, trailing
+    // junk and non-finite values, exactly the torn-line semantics the
+    // loader wants.
+    return parseDouble(token.c_str(), value);
 }
 
 bool
@@ -200,9 +201,7 @@ extractUint(const std::string &line, const std::string &key,
     bool was_string = false;
     if (!extractField(line, key, token, was_string) || was_string)
         return false;
-    char *end = nullptr;
-    value = std::strtoull(token.c_str(), &end, 10);
-    return end != nullptr && *end == '\0';
+    return parseUint(token.c_str(), value);
 }
 
 /**

@@ -82,7 +82,8 @@ struct ShardSpec
     std::string str() const;
 
     /** Parse "K/N" with 0 <= K < N; rejects garbage and signs. */
-    static bool parse(const std::string &text, ShardSpec &out);
+    [[nodiscard]] static bool parse(const std::string &text,
+                                    ShardSpec &out);
 
     bool operator==(const ShardSpec &other) const = default;
 };
@@ -147,15 +148,17 @@ std::string encodeRecord(const JournalRecord &record,
  * @p columns.
  * @return false if the line is malformed (e.g. torn by a crash).
  */
-bool decodeRecord(const std::string &line, JournalRecord &out,
-                  const std::vector<std::string> &columns =
-                      defaultJournalColumns());
+[[nodiscard]] bool decodeRecord(const std::string &line,
+                                JournalRecord &out,
+                                const std::vector<std::string> &columns =
+                                    defaultJournalColumns());
 
 /**
  * Parse a journal header line (the "absim_journal":1 line).
  * @return false if the line is not a well-formed header.
  */
-bool decodeHeader(const std::string &line, JournalHeader &out);
+[[nodiscard]] bool decodeHeader(const std::string &line,
+                                JournalHeader &out);
 
 /** What loadJournal()/loadShardJournal() found at the end of the file:
  *  where the valid prefix ends, and whether a torn tail was dropped. */
@@ -179,14 +182,16 @@ struct JournalResume
  *         @p resume (optional) reports the clean-prefix length so the
  *         caller can truncate the tear before appending.
  */
-bool loadJournal(const std::string &path, const JournalHeader &expect,
-                 const std::vector<std::string> &columns,
-                 std::vector<JournalRecord> &out,
-                 JournalResume *resume = nullptr);
+[[nodiscard]] bool loadJournal(const std::string &path,
+                               const JournalHeader &expect,
+                               const std::vector<std::string> &columns,
+                               std::vector<JournalRecord> &out,
+                               JournalResume *resume = nullptr);
 
 /** Classic-trio overload of loadJournal. */
-bool loadJournal(const std::string &path, const JournalHeader &expect,
-                 std::vector<JournalRecord> &out);
+[[nodiscard]] bool loadJournal(const std::string &path,
+                               const JournalHeader &expect,
+                               std::vector<JournalRecord> &out);
 
 /**
  * Load a shard journal (one record per owned (point x machine) item).
@@ -194,10 +199,11 @@ bool loadJournal(const std::string &path, const JournalHeader &expect,
  * single column of row-major item expect.shard.index + r*count.  Same
  * header-match and torn-tail semantics as loadJournal().
  */
-bool loadShardJournal(const std::string &path, const JournalHeader &expect,
-                      const std::vector<std::string> &columns,
-                      std::vector<JournalRecord> &out,
-                      JournalResume *resume = nullptr);
+[[nodiscard]] bool
+loadShardJournal(const std::string &path, const JournalHeader &expect,
+                 const std::vector<std::string> &columns,
+                 std::vector<JournalRecord> &out,
+                 JournalResume *resume = nullptr);
 
 /** Records between fsyncs in JournalWriter: the bounded window an OS
  *  crash (not a process crash — every record is flushed) may lose. */
@@ -220,16 +226,18 @@ class JournalWriter
     JournalWriter &operator=(const JournalWriter &) = delete;
 
     /** Create/truncate @p path and write + fsync the header line. */
-    bool start(const std::string &path, const JournalHeader &header,
-               unsigned fsyncEvery = kJournalFsyncInterval);
+    [[nodiscard]] bool start(const std::string &path,
+                             const JournalHeader &header,
+                             unsigned fsyncEvery = kJournalFsyncInterval);
 
     /**
      * Resume an existing journal: truncate it to @p cleanBytes (the
      * JournalResume::cleanBytes of the load, dropping any torn tail)
      * and append after that point.
      */
-    bool resume(const std::string &path, std::uint64_t cleanBytes,
-                unsigned fsyncEvery = kJournalFsyncInterval);
+    [[nodiscard]] bool
+    resume(const std::string &path, std::uint64_t cleanBytes,
+           unsigned fsyncEvery = kJournalFsyncInterval);
 
     bool isOpen() const { return file_ != nullptr; }
 

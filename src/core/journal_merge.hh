@@ -71,14 +71,16 @@ struct MergeResult
  * K/N).  Never throws for malformed input — every problem lands in
  * MergeResult::errors as a named diagnostic.
  */
-MergeResult mergeJournals(const std::vector<std::string> &paths);
+[[nodiscard]] MergeResult
+mergeJournals(const std::vector<std::string> &paths);
 
 /**
  * Write @p merge as one journal file (fsynced).  The bytes match the
  * unsharded serial sweep's journal exactly.
  * @return false if the merge has errors or the file cannot be written.
  */
-bool writeMergedJournal(const std::string &path, const MergeResult &merge);
+[[nodiscard]] bool writeMergedJournal(const std::string &path,
+                                      const MergeResult &merge);
 
 } // namespace absim::core
 

@@ -73,7 +73,7 @@ std::ostream &operator<<(std::ostream &os, const RunError &error);
  * the subset the harness needs).  T and E must be distinct types.
  */
 template <typename T, typename E>
-class Result
+class [[nodiscard]] Result
 {
   public:
     Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}

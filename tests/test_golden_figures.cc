@@ -21,6 +21,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/env.hh"
 #include "core/figures.hh"
 
 namespace {
@@ -58,7 +59,7 @@ void
 expectGolden(const std::string &name, const std::string &json)
 {
     const std::string path = goldenPath(name);
-    if (std::getenv("ABSIM_REGEN_GOLDENS") != nullptr) {
+    if (core::envString("ABSIM_REGEN_GOLDENS") != nullptr) {
         std::ofstream out(path, std::ios::binary | std::ios::trunc);
         ASSERT_TRUE(out) << "cannot write " << path;
         out << json;

@@ -1,0 +1,37 @@
+// Fixture: rule D2 negatives — unordered containers in a byte-emitting
+// file are fine when keyed by a stable value type, and pointer-keyed
+// ones are fine outside the output path (see ../runtime/ok_g1.cc's
+// directory, which D2 does not cover).
+#include <cstdint>
+#include <cstdio>
+#include <unordered_map>
+
+namespace absim::core {
+
+class Tally
+{
+  public:
+    void
+    bump(std::uint64_t id)
+    {
+        ++byId_[id];
+    }
+
+    void
+    emit() const
+    {
+        // Not D2: value-keyed; order is still unspecified, but no
+        // pointer makes it address-dependent run to run.  (Real output
+        // code sorts before emitting; the rule targets the class of
+        // bug PR 3 actually hit: pointer keys.)
+        std::uint64_t total = 0;
+        for (const auto &entry : byId_)
+            total += entry.second;
+        std::printf("%llu\n", static_cast<unsigned long long>(total));
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> byId_;
+};
+
+} // namespace absim::core

@@ -1,0 +1,44 @@
+// Fixture: rule R1 negatives — annotated declarations, constructors,
+// and consumed call sites.
+#ifndef ABSIM_FIXTURE_OK_R1_HH
+#define ABSIM_FIXTURE_OK_R1_HH
+
+#include <utility>
+
+namespace absim::core {
+
+struct FixtureError
+{
+    int code = 0;
+};
+
+template <typename T, typename E>
+class [[nodiscard]] Result
+{
+  public:
+    // Not R1: constructors of the Result type itself.
+    Result(T value) : value_(std::move(value)), ok_(true) {}
+    Result(E error) : error_(std::move(error)), ok_(false) {}
+
+    bool ok() const { return ok_; }
+
+  private:
+    T value_{};
+    E error_{};
+    bool ok_ = false;
+};
+
+// Not R1: annotated as required.
+[[nodiscard]] Result<int, FixtureError> tryAnnotatedThing(int input);
+
+inline int
+consume()
+{
+    // Not R1: the result is consumed, not discarded.
+    auto result = tryAnnotatedThing(3);
+    return result.ok() ? 0 : 1;
+}
+
+} // namespace absim::core
+
+#endif

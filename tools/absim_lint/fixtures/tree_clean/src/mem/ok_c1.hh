@@ -1,0 +1,24 @@
+// Fixture: rule C1 negatives — static_assert and the ABSIM_CHECK
+// family are fine; only bare assert() is banned.  Also an L1 negative:
+// mem/ may include net/ (a lower layer).
+#ifndef ABSIM_FIXTURE_OK_C1_HH
+#define ABSIM_FIXTURE_OK_C1_HH
+
+#include "net/topology_fixture.hh" // Not L1: net/ is below mem/.
+
+#define ABSIM_FIXTURE_CHECK(cond) ((void)(cond))
+
+namespace absim::mem {
+
+template <typename T>
+T
+clampIndex(T index, T size)
+{
+    static_assert(sizeof(T) <= 8, "index type fits a register");
+    ABSIM_FIXTURE_CHECK(size > 0);
+    return index < size ? index : size - 1;
+}
+
+} // namespace absim::mem
+
+#endif

@@ -1,0 +1,12 @@
+// Fixture scaffolding: a net/ header so mem/ok_c1.hh has a legal
+// lower-layer include target.
+#ifndef ABSIM_FIXTURE_TOPOLOGY_HH
+#define ABSIM_FIXTURE_TOPOLOGY_HH
+
+namespace absim::net {
+
+using NodeId = unsigned;
+
+} // namespace absim::net
+
+#endif

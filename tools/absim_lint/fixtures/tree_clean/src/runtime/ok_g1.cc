@@ -1,0 +1,33 @@
+// Fixture: rule G1 negatives — parsing routed through core/env, and
+// identifiers that merely resemble the banned ones.
+#include <cstdint>
+#include <string>
+
+namespace absim::core {
+// Mirrors the real funnel's surface for the fixture build.
+std::uint64_t envUint(const char *name, std::uint64_t fallback);
+const char *envString(const char *name);
+} // namespace absim::core
+
+namespace absim::rt {
+
+struct Env
+{
+    // Not G1: member named getenv is this type's business.
+    const char *getenv(const char *) const { return nullptr; }
+};
+
+std::uint64_t
+readKnob(const Env &env)
+{
+    // Not G1: the sanctioned funnel.
+    const std::uint64_t budget = core::envUint("ABSIM_FIXTURE_KNOB", 8);
+    const char *dir = core::envString("ABSIM_FIXTURE_DIR");
+
+    // Not G1: member call, not the libc primitive.
+    const char *other = env.getenv("X");
+
+    return budget + (dir != nullptr ? 1 : 0) + (other != nullptr);
+}
+
+} // namespace absim::rt

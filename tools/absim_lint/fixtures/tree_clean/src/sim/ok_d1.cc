@@ -1,0 +1,33 @@
+// Fixture: rule D1 negatives — things that look like nondeterminism
+// primitives but are not, plus one real primitive silenced by a
+// well-formed suppression.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace absim::sim {
+
+struct Profile
+{
+    double timeValue = 0.0;
+
+    // Not D1: member function named time() is this type's business.
+    double time() const { return timeValue; }
+};
+
+double
+sample(const Profile &profile)
+{
+    // Not D1: member access, not the libc primitive.
+    const double t = profile.time();
+
+    // Not D1: identifiers inside strings and comments are not code.
+    const std::string label = "steady_clock rand() time(nullptr)";
+
+    // D1 primitive, but justified and suppressed with the grammar.
+    const int jitter = rand(); // absim-lint: D1 ok(fixture exercising a well-formed suppression)
+
+    return t + jitter + static_cast<double>(label.size());
+}
+
+} // namespace absim::sim

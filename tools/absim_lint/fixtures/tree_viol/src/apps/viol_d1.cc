@@ -1,0 +1,21 @@
+// Fixture: rule D1 positives — nondeterminism primitives in src/.
+#include <chrono>
+#include <cstdlib>
+
+namespace absim::apps {
+
+int
+shuffleSeed()
+{
+    return rand(); // D1: bare rand() in call position.
+}
+
+double
+wallNow()
+{
+    // D1: host clock read outside the allowlisted watchdog files.
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+} // namespace absim::apps

@@ -1,0 +1,29 @@
+// Fixture: rule D2 positives — pointer-keyed unordered containers in a
+// byte-emitting (src/core/) file, declared and then iterated.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace absim::core {
+
+struct Node
+{
+    std::string name;
+};
+
+class Emitter
+{
+  public:
+    void
+    emit()
+    {
+        // D2: iteration order is address-dependent.
+        for (const auto &entry : byNode_)
+            std::printf("%s\n", entry.first->name.c_str());
+    }
+
+  private:
+    std::unordered_map<const Node *, int> byNode_; // D2: pointer key.
+};
+
+} // namespace absim::core

@@ -1,0 +1,21 @@
+// Fixture: rule R1 declaration positive — a Result-returning API
+// without [[nodiscard]].
+#ifndef ABSIM_FIXTURE_VIOL_R1_HH
+#define ABSIM_FIXTURE_VIOL_R1_HH
+
+namespace absim::core {
+
+template <typename T, typename E>
+class Result;
+
+struct FixtureError
+{
+    int code = 0;
+};
+
+// R1: returns Result but is not [[nodiscard]].
+Result<int, FixtureError> tryFixtureThing(int input);
+
+} // namespace absim::core
+
+#endif

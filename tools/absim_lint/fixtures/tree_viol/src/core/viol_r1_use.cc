@@ -1,0 +1,13 @@
+// Fixture: rule R1 call-site positive — discarding a Result-returning
+// call as a whole statement.
+#include "core/viol_r1.hh"
+
+namespace absim::core {
+
+void
+fixtureDriver()
+{
+    tryFixtureThing(7); // R1: result dropped on the floor.
+}
+
+} // namespace absim::core

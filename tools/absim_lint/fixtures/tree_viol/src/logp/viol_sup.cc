@@ -1,0 +1,17 @@
+// Fixture: rule SUP positives — malformed suppression comments.  Each
+// marker below fails the grammar a different way and must surface as
+// its own SUP diagnostic (a suppression that fails to parse must never
+// silently suppress nothing).
+
+namespace absim::logp {
+
+int
+fixtureValue()
+{
+    int v = 1; // absim-lint: D9 ok(unknown rule id)
+    v += 1;    // absim-lint: D1 okay-this-is-not-the-clause
+    v += 2;    // absim-lint: D1 ok()
+    return v;
+}
+
+} // namespace absim::logp

@@ -1,0 +1,14 @@
+// Fixture: rule C1 positive — bare assert() outside src/check.
+#include <cassert>
+#include <cstdint>
+
+namespace absim::net {
+
+std::uint32_t
+hopCount(std::uint32_t src, std::uint32_t dst)
+{
+    assert(src != dst); // C1: no context, off in NDEBUG builds.
+    return src < dst ? dst - src : src - dst;
+}
+
+} // namespace absim::net

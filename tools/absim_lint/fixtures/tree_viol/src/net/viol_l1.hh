@@ -1,0 +1,7 @@
+// Fixture: rule L1 positive — net/ reaching up into runtime/.
+#ifndef ABSIM_FIXTURE_VIOL_L1_HH
+#define ABSIM_FIXTURE_VIOL_L1_HH
+
+#include "runtime/context.hh" // L1: runtime/ is above net/ in the DAG.
+
+#endif

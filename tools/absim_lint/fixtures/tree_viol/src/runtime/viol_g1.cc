@@ -1,0 +1,15 @@
+// Fixture: rule G1 positives — bare env/number parsing outside core/env.
+#include <cstdlib>
+
+namespace absim::rt {
+
+int
+readKnob()
+{
+    const char *text = std::getenv("ABSIM_FIXTURE_KNOB"); // G1.
+    if (text == nullptr)
+        return 0;
+    return atoi(text); // G1: silently becomes 0 on garbage.
+}
+
+} // namespace absim::rt

@@ -1,0 +1,205 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace absim_lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuation we keep as one token (the rules only
+ *  care about a handful: ::, ->, and the shift/compare family so that
+ *  template-argument scanning can treat >> as two closers). */
+bool
+isTwoCharPunct(char a, char b)
+{
+    switch (a) {
+    case ':': return b == ':';
+    case '-': return b == '>';
+    case '<': return b == '=';
+    case '>': return b == '=';
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '&': return b == '&';
+    case '|': return b == '|';
+    case '+': return b == '+';
+    default: return false;
+    }
+}
+
+} // namespace
+
+LexedFile
+lex(const std::string &source)
+{
+    LexedFile out;
+    const std::size_t n = source.size();
+    std::size_t i = 0;
+    int line = 1;
+    int lastCodeLine = 0; // Line of the most recent code token.
+
+    auto advance = [&](std::size_t count) {
+        for (std::size_t k = 0; k < count && i < n; ++k, ++i)
+            if (source[i] == '\n')
+                ++line;
+    };
+
+    auto pushToken = [&](TokKind kind, std::string text, int atLine) {
+        out.tokens.push_back(Token{kind, std::move(text), atLine});
+        lastCodeLine = atLine;
+    };
+
+    while (i < n) {
+        const char c = source[i];
+
+        if (c == '\n' || c == ' ' || c == '\t' || c == '\r' ||
+            c == '\v' || c == '\f') {
+            advance(1);
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            const int at = line;
+            std::size_t j = i + 2;
+            while (j < n && source[j] != '\n')
+                ++j;
+            out.comments.push_back(
+                Comment{at, lastCodeLine != at,
+                        source.substr(i + 2, j - (i + 2))});
+            advance(j - i);
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            const int at = line;
+            std::size_t j = i + 2;
+            while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/'))
+                ++j;
+            const std::size_t end = (j + 1 < n) ? j + 2 : n;
+            out.comments.push_back(
+                Comment{at, lastCodeLine != at,
+                        source.substr(i + 2, j - (i + 2))});
+            advance(end - i);
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && source[j] != '(' && source[j] != '\n')
+                delim += source[j++];
+            if (j < n && source[j] == '(') {
+                const int at = line;
+                const std::string closer = ")" + delim + "\"";
+                const std::size_t body = j + 1;
+                const std::size_t close = source.find(closer, body);
+                const std::size_t end =
+                    close == std::string::npos ? n : close + closer.size();
+                pushToken(TokKind::String,
+                          source.substr(body, (close == std::string::npos
+                                                   ? n
+                                                   : close) -
+                                                  body),
+                          at);
+                advance(end - i);
+                continue;
+            }
+            // 'R' not starting a raw string: fall through as identifier.
+        }
+
+        // String / char literal (with escapes).
+        if (c == '"' || c == '\'') {
+            const int at = line;
+            const char quote = c;
+            std::size_t j = i + 1;
+            std::string inner;
+            while (j < n && source[j] != quote) {
+                if (source[j] == '\\' && j + 1 < n) {
+                    inner += source[j];
+                    inner += source[j + 1];
+                    j += 2;
+                } else if (source[j] == '\n') {
+                    break; // Unterminated on this line; close it.
+                } else {
+                    inner += source[j++];
+                }
+            }
+            const std::size_t end = (j < n && source[j] == quote) ? j + 1 : j;
+            pushToken(quote == '"' ? TokKind::String : TokKind::Char,
+                      std::move(inner), at);
+            advance(end - i);
+            continue;
+        }
+
+        // Identifier (possibly a literal prefix like u8"...").
+        if (isIdentStart(c)) {
+            std::size_t j = i + 1;
+            while (j < n && isIdentChar(source[j]))
+                ++j;
+            // String prefixes (u8, u, U, L) glued to a quote: let the
+            // next iteration lex the literal; drop the prefix.
+            if (j < n && (source[j] == '"' || source[j] == '\'')) {
+                const std::string word = source.substr(i, j - i);
+                if (word == "u8" || word == "u" || word == "U" ||
+                    word == "L" || word == "LR" || word == "uR" ||
+                    word == "UR" || word == "u8R") {
+                    if (word.back() == 'R') {
+                        // Re-enter as a raw literal by rewriting i to
+                        // the 'R'.
+                        advance(j - i - 1);
+                        continue;
+                    }
+                    advance(j - i);
+                    continue;
+                }
+            }
+            pushToken(TokKind::Ident, source.substr(i, j - i), line);
+            advance(j - i);
+            continue;
+        }
+
+        // pp-number (good enough: digits, dots, idents, exponent signs).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            std::size_t j = i + 1;
+            while (j < n &&
+                   (isIdentChar(source[j]) || source[j] == '.' ||
+                    source[j] == '\'' ||
+                    ((source[j] == '+' || source[j] == '-') &&
+                     (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                      source[j - 1] == 'p' || source[j - 1] == 'P'))))
+                ++j;
+            pushToken(TokKind::Number, source.substr(i, j - i), line);
+            advance(j - i);
+            continue;
+        }
+
+        // Punctuation.
+        if (i + 1 < n && isTwoCharPunct(c, source[i + 1])) {
+            pushToken(TokKind::Punct, source.substr(i, 2), line);
+            advance(2);
+            continue;
+        }
+        pushToken(TokKind::Punct, std::string(1, c), line);
+        advance(1);
+    }
+
+    return out;
+}
+
+} // namespace absim_lint

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Comment/string-aware C++ lexer for absim_lint.
+ *
+ * This is not a full C++ front end: the rules in rules.cc only need a
+ * faithful token stream (identifiers, numbers, literals, punctuation,
+ * line numbers) with comments and string contents separated out, so
+ * that `rand` inside a string literal or a comment never trips a rule,
+ * while `// absim-lint: ...` suppression comments are still visible to
+ * the suppression parser.
+ */
+
+#ifndef ABSIM_LINT_LEXER_HH
+#define ABSIM_LINT_LEXER_HH
+
+#include <string>
+#include <vector>
+
+namespace absim_lint {
+
+enum class TokKind
+{
+    Ident,  ///< Identifiers and keywords.
+    Number, ///< Numeric literals (pp-numbers).
+    String, ///< String literal; text holds the *inner* characters.
+    Char,   ///< Character literal; text holds the inner characters.
+    Punct,  ///< Operators and punctuation, one token per maximal glyph.
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 0; ///< 1-based line of the token's first character.
+};
+
+/** One comment, kept for suppression parsing only. */
+struct Comment
+{
+    int line = 0;      ///< 1-based line where the comment starts.
+    bool ownLine = false; ///< No code token precedes it on its line.
+    std::string text;  ///< Body without the // or enclosing slash-star.
+};
+
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/**
+ * Lex @p source.  Never fails: unterminated literals/comments are
+ * closed at end of file (the rules prefer a best-effort stream over
+ * hard errors on files the compiler itself would reject).
+ */
+LexedFile lex(const std::string &source);
+
+} // namespace absim_lint
+
+#endif // ABSIM_LINT_LEXER_HH

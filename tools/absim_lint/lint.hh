@@ -1,0 +1,130 @@
+/**
+ * @file
+ * absim_lint: project-specific static analysis for absim.
+ *
+ * Enforces the invariants the generic toolchain cannot express (see
+ * docs/CHECKING.md, "absim_lint rule catalog"):
+ *
+ *   D1  no nondeterminism primitives in src/ outside the allowlist
+ *   D2  no pointer-keyed unordered containers in byte-emitting files
+ *   G1  no bare getenv/atoi/strto* outside core/env
+ *   C1  no bare assert() outside src/check
+ *   L1  include-layering DAG over src/ directories
+ *   R1  Result/RunError-returning APIs are [[nodiscard]] and never
+ *       silently discarded at call sites
+ *   SUP malformed `// absim-lint:` suppression comments
+ *
+ * Diagnostics may be suppressed inline:
+ *
+ *   foo();  // absim-lint: D1 ok(reason the exception is sound)
+ *
+ * A suppression on a comment-only line applies to the next line.  The
+ * rule id must be one of the catalog above (not SUP) and the reason
+ * must be non-empty; anything else is itself a SUP diagnostic.
+ */
+
+#ifndef ABSIM_LINT_LINT_HH
+#define ABSIM_LINT_LINT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace absim_lint {
+
+struct Diagnostic
+{
+    std::string rule;    ///< "D1", ..., "SUP".
+    std::string file;    ///< Root-relative path, '/'-separated.
+    int line = 0;        ///< 1-based.
+    std::string message;
+
+    bool operator==(const Diagnostic &other) const
+    {
+        return rule == other.rule && file == other.file &&
+               line == other.line && message == other.message;
+    }
+};
+
+/** One catalog entry, for --list-rules and the suppression parser. */
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+};
+
+/** The rule catalog (stable order; SUP last). */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** A built-in D1 allowlist entry (file-scoped, with its rationale). */
+struct AllowlistEntry
+{
+    const char *rule;
+    const char *file;
+    const char *reason;
+};
+
+const std::vector<AllowlistEntry> &allowlist();
+
+/**
+ * One layer of rule L1's include DAG: a src/ directory and the
+ * directories it may include (its own is always allowed).  The table
+ * is ordered lowest layer first, and every allowed entry refers to an
+ * earlier row — that ordering is the acyclicity proof, asserted by the
+ * self-tests.
+ */
+struct Layer
+{
+    const char *dir;
+    std::vector<const char *> allowed;
+};
+
+const std::vector<Layer> &layerTable();
+
+struct LintOptions
+{
+    /** Repository root all paths are resolved against and reported
+     *  relative to. */
+    std::string root = ".";
+
+    /** Files or directories (root-relative) to scan. */
+    std::vector<std::string> paths;
+
+    /** When non-empty, only run these rules (SUP always runs). */
+    std::set<std::string> rules;
+};
+
+struct LintResult
+{
+    std::vector<Diagnostic> diagnostics; ///< Sorted (file, line, rule).
+    int filesScanned = 0;
+    std::vector<std::string> errors; ///< I/O problems (exit 1).
+};
+
+/** Scan and lint per @p options. */
+LintResult runLint(const LintOptions &options);
+
+/**
+ * Lint a single in-memory file (unit-test entry point).  @p path is
+ * the root-relative path used for rule scoping.  Cross-file state
+ * (rule R1's name registry) sees only this file plus the built-in
+ * seeds.
+ */
+std::vector<Diagnostic> lintSource(const std::string &path,
+                                   const std::string &source);
+
+/** Render diagnostics as the stable --json document. */
+std::string encodeJson(const LintResult &result);
+
+/**
+ * Parse a document produced by encodeJson (fixture round-trips and CI
+ * tooling).  @return false on malformed input.
+ */
+bool decodeJson(const std::string &json, LintResult &out);
+
+/** Human-readable "file:line: rule: message" lines + summary. */
+std::string formatText(const LintResult &result);
+
+} // namespace absim_lint
+
+#endif // ABSIM_LINT_LINT_HH

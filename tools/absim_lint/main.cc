@@ -1,0 +1,106 @@
+/**
+ * @file
+ * absim_lint CLI.
+ *
+ * Usage:
+ *   absim_lint [--root DIR] [--json] [--rules D1,G1,...] PATH...
+ *   absim_lint --list-rules
+ *
+ * Exit status (the run_cli contract):
+ *   0  clean
+ *   1  internal/IO error (unreadable path)
+ *   2  violations found, or invalid usage (named diagnostic on stderr)
+ */
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lint.hh"
+
+namespace {
+
+int
+usage(const char *argv0, const std::string &problem)
+{
+    if (!problem.empty())
+        std::cerr << argv0 << ": error: " << problem << "\n";
+    std::cerr << "usage: " << argv0
+              << " [--root DIR] [--json] [--rules R1,R2,...] PATH...\n"
+              << "       " << argv0 << " --list-rules\n"
+              << "PATHs are files or directories relative to --root "
+                 "(default: .).\n";
+    return 2;
+}
+
+bool
+validRule(const std::string &id)
+{
+    for (const absim_lint::RuleInfo &info : absim_lint::ruleCatalog())
+        if (id == info.id)
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    absim_lint::LintOptions options;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list-rules") {
+            for (const absim_lint::RuleInfo &info :
+                 absim_lint::ruleCatalog())
+                std::cout << info.id << "  " << info.summary << "\n";
+            std::cout << "\nD1 allowlist (file, reason):\n";
+            for (const absim_lint::AllowlistEntry &entry :
+                 absim_lint::allowlist())
+                std::cout << "  " << entry.file << "  (" << entry.reason
+                          << ")\n";
+            return 0;
+        } else if (arg == "--root") {
+            if (i + 1 >= argc)
+                return usage(argv[0], "--root needs a directory");
+            options.root = argv[++i];
+        } else if (arg == "--rules") {
+            if (i + 1 >= argc)
+                return usage(argv[0],
+                             "--rules needs a comma-separated list");
+            std::stringstream list(argv[++i]);
+            std::string id;
+            while (std::getline(list, id, ',')) {
+                if (!validRule(id))
+                    return usage(argv[0], "unknown rule '" + id +
+                                              "' (see --list-rules)");
+                options.rules.insert(id);
+            }
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage(argv[0], "unknown flag '" + arg + "'");
+        } else {
+            options.paths.push_back(arg);
+        }
+    }
+    if (options.paths.empty())
+        return usage(argv[0], "no paths to lint");
+
+    const absim_lint::LintResult result = absim_lint::runLint(options);
+
+    if (json)
+        std::cout << absim_lint::encodeJson(result);
+    else
+        std::cout << absim_lint::formatText(result);
+
+    if (!result.errors.empty()) {
+        for (const std::string &error : result.errors)
+            std::cerr << argv[0] << ": error: " << error << "\n";
+        return 1;
+    }
+    return result.diagnostics.empty() ? 0 : 2;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Internal interface between the scanner (lint.cc) and the rule
+ * implementations (rules.cc).  Not installed; the public surface is
+ * lint.hh.
+ */
+
+#ifndef ABSIM_LINT_RULES_HH
+#define ABSIM_LINT_RULES_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+#include "lint.hh"
+
+namespace absim_lint {
+
+/** One file, lexed, with its root-relative path. */
+struct FileUnit
+{
+    std::string path; ///< '/'-separated, root-relative.
+    LexedFile lex;
+};
+
+/**
+ * Rule R1 pass 1: record the names of functions declared (in headers)
+ * as returning a Result-family type, so pass 2 can flag discarded
+ * calls in any scanned file.
+ */
+void collectResultNames(const FileUnit &unit,
+                        std::set<std::string> &names);
+
+/** Names R1 always treats as Result-returning, independent of what the
+ *  scan saw (keeps single-file lints and fixtures honest). */
+const std::set<std::string> &seedResultNames();
+
+/**
+ * Run every enabled rule on @p unit, appending diagnostics.  @p enabled
+ * is empty for "all rules".  Suppression filtering happens later in
+ * lint.cc.
+ */
+void runRules(const FileUnit &unit,
+              const std::set<std::string> &resultNames,
+              const std::set<std::string> &enabled,
+              std::vector<Diagnostic> &out);
+
+} // namespace absim_lint
+
+#endif // ABSIM_LINT_RULES_HH
