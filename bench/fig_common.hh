@@ -21,6 +21,11 @@
  *   ABSIM_WALL_SECONDS  per-run wall-clock budget (0 = unlimited)
  *   ABSIM_STALL_LIMIT   dispatches without sim-time progress before the
  *                       livelock watchdog fires (default 10000000)
+ *   ABSIM_FAIL_TRACE    comma-separated sim trace categories (protocol,
+ *                       network, logp, runtime, all) captured per run
+ *                       into a bounded in-memory sink; a failed point
+ *                       embeds the trace tail in the failure manifest
+ *                       and the journal (default: no capture)
  *   ABSIM_JOBS          worker threads for the sweep (default 1); the
  *                       --jobs N flag overrides it.  Output is
  *                       byte-identical for every value — see
@@ -46,6 +51,7 @@
 
 #include "core/env.hh"
 #include "core/figures.hh"
+#include "sim/trace.hh"
 
 namespace absim::bench {
 
@@ -165,6 +171,14 @@ runFigureMain(const std::string &title, const std::string &app,
         "ABSIM_WALL_SECONDS", options.policy.budget.maxWallSeconds);
     options.policy.budget.stallDispatchLimit = core::envUint(
         "ABSIM_STALL_LIMIT", options.policy.budget.stallDispatchLimit);
+    if (const char *cats = core::envString("ABSIM_FAIL_TRACE")) {
+        if (!sim::parseTraceMask(cats, options.policy.traceMask)) {
+            std::cerr << "error: invalid ABSIM_FAIL_TRACE value '" << cats
+                      << "' (want comma-separated protocol, network, "
+                         "logp, runtime or all)\n";
+            return 2;
+        }
+    }
     options.jobs = jobs;
     options.shard = shard;
 

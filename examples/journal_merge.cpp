@@ -62,8 +62,21 @@ main(int argc, char **argv)
             shard_paths.push_back(arg);
         }
     }
-    if (out_path.empty() || shard_paths.empty())
+    // Each misuse gets its own named diagnostic ahead of the usage
+    // text: a scripted sweep whose glob expanded to nothing should read
+    // "no shard journals" in its log, not a bare usage line.
+    if (out_path.empty()) {
+        std::fprintf(stderr, "%s: error: missing --out MERGED.jsonl\n",
+                     argv[0]);
         return usage(argv[0]);
+    }
+    if (shard_paths.empty()) {
+        std::fprintf(stderr,
+                     "%s: error: no shard journals given (expected at "
+                     "least one SHARD.jsonl)\n",
+                     argv[0]);
+        return usage(argv[0]);
+    }
 
     const absim::core::MergeResult merge =
         absim::core::mergeJournals(shard_paths);

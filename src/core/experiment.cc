@@ -14,6 +14,7 @@
 #include "runtime/context.hh"
 #include "runtime/shared.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace.hh"
 
 namespace absim::core {
 
@@ -119,6 +120,19 @@ runOneSafe(const RunConfig &config, const RunPolicy &policy)
     for (int attempt = 1; attempt <= attempts; ++attempt) {
         // Invariant failures must surface as exceptions, not aborts.
         check::ScopedThrowOnFailure guard;
+        // Per-attempt bounded trace capture: a fresh tail sink becomes
+        // the thread's current trace, so the run's RunContext inherits
+        // it and a failing attempt leaves its last events in the error.
+        std::optional<sim::BoundedTraceSink> capture;
+        std::optional<sim::Trace> capture_trace;
+        std::optional<sim::ScopedTrace> capture_scope;
+        if (policy.traceMask != 0) {
+            capture.emplace(policy.traceLimit);
+            capture_trace.emplace();
+            capture_trace->setMask(policy.traceMask);
+            capture_trace->setSink(&capture->stream());
+            capture_scope.emplace(*capture_trace);
+        }
         bool retryable = false;
         RunError err;
         try {
@@ -137,10 +151,22 @@ runOneSafe(const RunConfig &config, const RunPolicy &policy)
         } catch (const std::exception &e) {
             err = plainError(RunErrorKind::Panic, e.what(), attempt);
         }
+        if (capture && !capture->empty())
+            err.traceExcerpt = capture->excerpt();
         if (retryable && attempt < attempts) {
             // Degrade gracefully: re-roll the workload RNG and re-run
             // the point rather than losing the whole sweep to one
             // (possibly transient) failed invariant.
+            if (policy.retryBackoffMs != 0) {
+                // Capped exponential, deterministic (no jitter): damps
+                // retry storms without breaking reproducibility.
+                const int shift = std::min(attempt - 1, 20);
+                const std::uint64_t ms = std::min<std::uint64_t>(
+                    static_cast<std::uint64_t>(policy.retryBackoffMs)
+                        << shift,
+                    policy.retryBackoffCapMs);
+                std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+            }
             attempt_config.params.seed += policy.seedPerturbation;
             continue;
         }

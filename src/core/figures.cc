@@ -209,6 +209,7 @@ sweepFigureSharded(const std::string &title, const RunConfig &base,
         std::string machine;
         std::string error;
         std::string message;
+        std::string trace;
     };
     std::vector<std::optional<ItemOutcome>> items(owned.size());
 
@@ -241,6 +242,7 @@ sweepFigureSharded(const std::string &title, const RunConfig &base,
                     outcome.machine = rec.machine;
                     outcome.error = rec.error;
                     outcome.message = rec.message;
+                    outcome.trace = rec.trace;
                 } else {
                     outcome.value =
                         rec.values.empty() ? 0.0 : rec.values[0];
@@ -275,7 +277,8 @@ sweepFigureSharded(const std::string &title, const RunConfig &base,
         const std::uint32_t procs = proc_counts[g / machine_count];
         if (outcome.failed)
             writer.append(JournalRecord{procs, true, {}, outcome.machine,
-                                        outcome.error, outcome.message},
+                                        outcome.error, outcome.message,
+                                        outcome.trace},
                           columns);
         else
             writer.append(JournalRecord{procs, false, {outcome.value},
@@ -295,6 +298,7 @@ sweepFigureSharded(const std::string &title, const RunConfig &base,
                 mach::specFor(machines[owned[r] % machine_count]).name;
             outcome.error = toString(run.error().kind);
             outcome.message = run.error().message;
+            outcome.trace = run.error().traceExcerpt;
         }
         items[r] = outcome;
         while (frontier < owned.size() && items[frontier]) {
@@ -329,7 +333,8 @@ sweepFigureSharded(const std::string &title, const RunConfig &base,
                 any_failed = true;
                 result.failures.push_back(
                     FailedPoint{point.procs, outcome.machine,
-                                outcome.error, outcome.message});
+                                outcome.error, outcome.message,
+                                outcome.trace});
             } else {
                 point.values[mi] = outcome.value;
             }
@@ -387,7 +392,7 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
             for (JournalRecord &r : records) {
                 if (r.failed) {
                     failed[r.procs].push_back(FailedPoint{
-                        r.procs, r.machine, r.error, r.message});
+                        r.procs, r.machine, r.error, r.message, r.trace});
                 } else {
                     done[r.procs] =
                         SeriesPoint{r.procs, std::move(r.values)};
@@ -440,7 +445,8 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
             else
                 outcome.failures.push_back(FailedPoint{
                     pending[idx], mach::specFor(machines[mi]).name,
-                    toString(run.error().kind), run.error().message});
+                    toString(run.error().kind), run.error().message,
+                    run.error().traceExcerpt});
         }
         return outcome;
     };
@@ -456,7 +462,7 @@ sweepFigureParallel(const std::string &title, const RunConfig &base,
         } else {
             for (const FailedPoint &f : outcome.failures)
                 writer.append(JournalRecord{f.procs, true, {}, f.machine,
-                                            f.error, f.message},
+                                            f.error, f.message, f.trace},
                               columns);
         }
     };
@@ -570,7 +576,12 @@ writeFailureArray(std::ostream &os, const std::vector<FailedPoint> &failures)
            << "{\"procs\":" << f.procs << ",\"machine\":\""
            << jsonEscape(f.machine) << "\",\"error\":\""
            << jsonEscape(f.error) << "\",\"message\":\""
-           << jsonEscape(f.message) << "\"}";
+           << jsonEscape(f.message) << "\"";
+        // Only captured failures carry a trace: manifests written with
+        // capture off keep their historical bytes.
+        if (!f.trace.empty())
+            os << ",\"trace\":\"" << jsonEscape(f.trace) << "\"";
+        os << "}";
     }
     os << (failures.empty() ? "]" : "\n  ]");
 }

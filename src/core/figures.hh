@@ -94,6 +94,8 @@ struct FailedPoint
     std::string machine; ///< Canonical machine name, e.g. "logp+c".
     std::string error;   ///< RunErrorKind name.
     std::string message; ///< One-line summary.
+    std::string trace;   ///< Bounded trace tail (RunPolicy::traceMask);
+                         ///< "" when capture was off.
 };
 
 /** Outcome of a resilient sweep: the completed curve + what failed. */

@@ -19,6 +19,16 @@ defaultJournalColumns()
     return columns;
 }
 
+unsigned
+journalFsyncInterval()
+{
+    // Re-read per open (not cached): a long-lived service that opens
+    // journals over its lifetime honors the environment it was started
+    // with, and tests can vary the knob without process restarts.
+    return static_cast<unsigned>(envUint(
+        "ABSIM_FSYNC_INTERVAL", kJournalFsyncInterval, 1, 1u << 20));
+}
+
 std::string
 ShardSpec::str() const
 {
@@ -329,6 +339,10 @@ encodeRecord(const JournalRecord &record,
         out += ",\"machine\":\"" + jsonEscape(record.machine) +
                "\",\"error\":\"" + jsonEscape(record.error) +
                "\",\"message\":\"" + jsonEscape(record.message) + "\"";
+        // Only stamped when captured: journals written without trace
+        // sinks keep their historical bytes.
+        if (!record.trace.empty())
+            out += ",\"trace\":\"" + jsonEscape(record.trace) + "\"";
     } else {
         for (std::size_t i = 0; i < columns.size(); ++i) {
             const double v =
@@ -352,6 +366,8 @@ decodeRecord(const std::string &line, JournalRecord &out,
     out.procs = static_cast<std::uint32_t>(procs);
     if (extractString(line, "error", out.error)) {
         out.failed = true;
+        // "trace" is optional (only captured failures carry it).
+        (void)extractString(line, "trace", out.trace);
         return extractString(line, "machine", out.machine) &&
                extractString(line, "message", out.message);
     }
@@ -424,12 +440,19 @@ bool
 JournalWriter::start(const std::string &path, const JournalHeader &header,
                      unsigned fsyncEvery)
 {
+    return startLine(path, encodeHeader(header), fsyncEvery);
+}
+
+bool
+JournalWriter::startLine(const std::string &path,
+                         const std::string &headerLine, unsigned fsyncEvery)
+{
     close();
-    interval_ = fsyncEvery != 0 ? fsyncEvery : 1;
+    interval_ = fsyncEvery != 0 ? fsyncEvery : journalFsyncInterval();
     file_ = std::fopen(path.c_str(), "wb");
     if (file_ == nullptr)
         return false;
-    const std::string line = encodeHeader(header) + "\n";
+    const std::string line = headerLine + "\n";
     std::fwrite(line.data(), 1, line.size(), file_);
     std::fflush(file_);
     // The header is durable before the first record: a merge or resume
@@ -443,7 +466,7 @@ JournalWriter::resume(const std::string &path, std::uint64_t cleanBytes,
                       unsigned fsyncEvery)
 {
     close();
-    interval_ = fsyncEvery != 0 ? fsyncEvery : 1;
+    interval_ = fsyncEvery != 0 ? fsyncEvery : journalFsyncInterval();
     // Drop any torn tail before appending: writing after a record that
     // lost its newline would weld the two into one unreadable line.
     if (::truncate(path.c_str(), static_cast<off_t>(cleanBytes)) != 0)
@@ -456,10 +479,16 @@ void
 JournalWriter::append(const JournalRecord &record,
                       const std::vector<std::string> &columns)
 {
+    appendLine(encodeRecord(record, columns));
+}
+
+void
+JournalWriter::appendLine(const std::string &line)
+{
     if (file_ == nullptr)
         return;
-    const std::string line = encodeRecord(record, columns) + "\n";
     std::fwrite(line.data(), 1, line.size(), file_);
+    std::fwrite("\n", 1, 1, file_);
     std::fflush(file_);
     if (++sinceSync_ >= interval_)
         sync();

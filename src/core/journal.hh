@@ -123,6 +123,7 @@ struct JournalRecord
     std::string machine; ///< Which machine's run failed.
     std::string error;   ///< RunErrorKind name.
     std::string message; ///< One-line failure summary.
+    std::string trace;   ///< Bounded trace excerpt ("" = none captured).
 };
 
 /** JSON-escape a string (quotes, backslashes, control characters). */
@@ -205,17 +206,34 @@ loadShardJournal(const std::string &path, const JournalHeader &expect,
                  std::vector<JournalRecord> &out,
                  JournalResume *resume = nullptr);
 
-/** Records between fsyncs in JournalWriter: the bounded window an OS
- *  crash (not a process crash — every record is flushed) may lose. */
+/** Default records-between-fsyncs in JournalWriter: the bounded window
+ *  an OS crash (not a process crash — every record is flushed) may
+ *  lose.  ABSIM_FSYNC_INTERVAL overrides it (see
+ *  journalFsyncInterval()). */
 inline constexpr unsigned kJournalFsyncInterval = 8;
+
+/**
+ * The journal fsync cadence: ABSIM_FSYNC_INTERVAL (checked via
+ * core::envUint — garbage or 0 is a named diagnostic and exit 2),
+ * defaulting to kJournalFsyncInterval.  1 fsyncs every record (the
+ * durable extreme); larger values trade a wider OS-crash window for
+ * fewer fsyncs on sweep-heavy workloads.
+ */
+[[nodiscard]] unsigned journalFsyncInterval();
 
 /**
  * Durable journal writer: keeps the file open across a sweep, flushes
  * every record to the OS, and fsyncs the header, every
- * kJournalFsyncInterval records, and on close — so a record
+ * journalFsyncInterval() records, and on close — so a record
  * acknowledged to the sweep's in-order frontier survives an OS crash
  * up to the bounded fsync window, and a resume recomputes at most that
  * window.
+ *
+ * The writer also serves non-sweep line-JSON journals (the serve
+ * result cache): startLine() writes an arbitrary header line and
+ * appendLine() an arbitrary record line, with the same
+ * flush-every-record + periodic-fsync + torn-tail-truncating-resume
+ * discipline.
  */
 class JournalWriter
 {
@@ -225,10 +243,17 @@ class JournalWriter
     JournalWriter(const JournalWriter &) = delete;
     JournalWriter &operator=(const JournalWriter &) = delete;
 
-    /** Create/truncate @p path and write + fsync the header line. */
+    /** Create/truncate @p path and write + fsync the header line.
+     *  @p fsyncEvery 0 (the default) means journalFsyncInterval(). */
     [[nodiscard]] bool start(const std::string &path,
                              const JournalHeader &header,
-                             unsigned fsyncEvery = kJournalFsyncInterval);
+                             unsigned fsyncEvery = 0);
+
+    /** Like start() but with a caller-rendered header line (no trailing
+     *  newline), for journals that are not figure sweeps. */
+    [[nodiscard]] bool startLine(const std::string &path,
+                                 const std::string &headerLine,
+                                 unsigned fsyncEvery = 0);
 
     /**
      * Resume an existing journal: truncate it to @p cleanBytes (the
@@ -237,7 +262,7 @@ class JournalWriter
      */
     [[nodiscard]] bool
     resume(const std::string &path, std::uint64_t cleanBytes,
-           unsigned fsyncEvery = kJournalFsyncInterval);
+           unsigned fsyncEvery = 0);
 
     bool isOpen() const { return file_ != nullptr; }
 
@@ -246,6 +271,10 @@ class JournalWriter
     void append(const JournalRecord &record,
                 const std::vector<std::string> &columns =
                     defaultJournalColumns());
+
+    /** Append one caller-rendered record line (no trailing newline);
+     *  same flush/fsync discipline as append(). */
+    void appendLine(const std::string &line);
 
     /** Flush + fsync + close; idempotent, also run by the destructor. */
     void close();

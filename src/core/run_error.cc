@@ -45,6 +45,8 @@ operator<<(std::ostream &os, const RunError &error)
            << " events dispatched, sim time " << error.simTime << " ns\n";
     if (!error.blockedFibers.empty())
         os << "  " << sim::formatBlockedDump(error.blockedFibers) << "\n";
+    if (!error.traceExcerpt.empty())
+        os << "  trace tail:\n" << error.traceExcerpt;
     return os;
 }
 

@@ -61,6 +61,10 @@ struct RunError
     /** Attempts consumed, including retries (>= 1). */
     int attempts = 1;
 
+    /** Bounded tail of the final attempt's trace, captured when the
+     *  policy asked for it (RunPolicy::traceMask); "" otherwise. */
+    std::string traceExcerpt;
+
     /** One-line "Kind: message" summary. */
     std::string summary() const;
 };

@@ -1,0 +1,380 @@
+#include "serve/protocol.hh"
+
+#include <stdexcept>
+
+#include "core/env.hh"
+#include "core/journal.hh"
+#include "machines/registry.hh"
+#include "sim/trace.hh"
+
+namespace absim::serve {
+
+bool
+parseFlatJson(const std::string &line, std::vector<JsonField> &out)
+{
+    out.clear();
+    std::size_t i = 0;
+    const auto skipSpace = [&] {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+    };
+    skipSpace();
+    if (i >= line.size() || line[i] != '{')
+        return false;
+    ++i;
+    skipSpace();
+    if (i < line.size() && line[i] == '}') {
+        ++i;
+        skipSpace();
+        return i == line.size();
+    }
+    const auto parseString = [&](std::string &value) {
+        if (i >= line.size() || line[i] != '"')
+            return false;
+        std::string raw;
+        for (++i; i < line.size(); ++i) {
+            if (line[i] == '\\' && i + 1 < line.size()) {
+                raw += line[i];
+                raw += line[i + 1];
+                ++i;
+            } else if (line[i] == '"') {
+                ++i;
+                value = core::jsonUnescape(raw);
+                return true;
+            } else {
+                raw += line[i];
+            }
+        }
+        return false; // Unterminated string: torn line.
+    };
+    for (;;) {
+        JsonField field;
+        if (!parseString(field.key))
+            return false;
+        skipSpace();
+        if (i >= line.size() || line[i] != ':')
+            return false;
+        ++i;
+        skipSpace();
+        if (i >= line.size())
+            return false;
+        if (line[i] == '"') {
+            if (!parseString(field.value))
+                return false;
+            field.isString = true;
+        } else if (line[i] == '{' || line[i] == '[') {
+            return false; // Flat objects only.
+        } else {
+            // Number / true / false: scan to the delimiter.
+            const auto end = line.find_first_of(",}", i);
+            if (end == std::string::npos)
+                return false;
+            field.value = line.substr(i, end - i);
+            while (!field.value.empty() && field.value.back() == ' ')
+                field.value.pop_back();
+            if (field.value.empty())
+                return false;
+            i = end;
+        }
+        out.push_back(std::move(field));
+        skipSpace();
+        if (i >= line.size())
+            return false;
+        if (line[i] == ',') {
+            ++i;
+            skipSpace();
+            continue;
+        }
+        if (line[i] != '}')
+            return false;
+        ++i;
+        skipSpace();
+        return i == line.size();
+    }
+}
+
+bool
+extractNumber(const std::string &line, const std::string &key, double &out)
+{
+    std::vector<JsonField> fields;
+    if (!parseFlatJson(line, fields))
+        return false;
+    for (const JsonField &f : fields)
+        if (f.key == key && !f.isString)
+            return core::parseDouble(f.value.c_str(), out);
+    return false;
+}
+
+namespace {
+
+/** "bad-request: <what>" — every parse failure is a named diagnostic,
+ *  never a silent default. */
+bool
+fail(std::string &error, const std::string &what)
+{
+    error = what;
+    return false;
+}
+
+bool
+parseUintField(const JsonField &f, std::uint64_t &out, std::string &error,
+               std::uint64_t min, std::uint64_t max)
+{
+    if (f.isString || !core::parseUint(f.value.c_str(), out) || out < min ||
+        out > max)
+        return fail(error, "invalid " + f.key + " value '" + f.value + "'");
+    return true;
+}
+
+bool
+parseDoubleField(const JsonField &f, double &out, std::string &error)
+{
+    if (f.isString || !core::parseDouble(f.value.c_str(), out) || out < 0.0)
+        return fail(error, "invalid " + f.key + " value '" + f.value + "'");
+    return true;
+}
+
+bool
+parseBoolField(const JsonField &f, bool &out, std::string &error)
+{
+    if (!f.isString && f.value == "true")
+        out = true;
+    else if (!f.isString && f.value == "false")
+        out = false;
+    else
+        return fail(error, "invalid " + f.key + " value '" + f.value + "'");
+    return true;
+}
+
+} // namespace
+
+bool
+parseRequest(const std::string &line, const core::RunPolicy &defaults,
+             Request &out, std::string &error)
+{
+    out = Request{};
+    out.policy = defaults;
+    std::vector<JsonField> fields;
+    if (!parseFlatJson(line, fields))
+        return fail(error, "malformed request line (flat JSON object "
+                           "expected)");
+
+    bool sawOp = false;
+    for (const JsonField &f : fields) {
+        std::uint64_t u = 0;
+        if (f.key == "op") {
+            out.op = f.value;
+            sawOp = true;
+        } else if (f.key == "app") {
+            out.config.app = f.value;
+        } else if (f.key == "size") {
+            if (!parseUintField(f, u, error, 1, 1u << 26))
+                return false;
+            out.config.params.n = u;
+        } else if (f.key == "seed") {
+            if (!parseUintField(f, u, error, 0,
+                                std::numeric_limits<std::uint64_t>::max()))
+                return false;
+            out.config.params.seed = u;
+        } else if (f.key == "iterations") {
+            if (!parseUintField(f, u, error, 0, 1u << 20))
+                return false;
+            out.config.params.iterations =
+                static_cast<std::uint32_t>(u);
+        } else if (f.key == "variant") {
+            out.config.params.variant = f.value;
+        } else if (f.key == "machine") {
+            if (!mach::parseMachineKind(f.value, out.config.machine) ||
+                !mach::specFor(out.config.machine).runnable)
+                return fail(error, "unknown machine '" + f.value +
+                                       "' (valid: " + mach::machineNames() +
+                                       ")");
+        } else if (f.key == "topology") {
+            if (f.value == "full")
+                out.config.topology = net::TopologyKind::Full;
+            else if (f.value == "cube")
+                out.config.topology = net::TopologyKind::Hypercube;
+            else if (f.value == "mesh")
+                out.config.topology = net::TopologyKind::Mesh2D;
+            else
+                return fail(error, "unknown topology '" + f.value +
+                                       "' (valid: full, cube, mesh)");
+        } else if (f.key == "procs") {
+            if (!parseUintField(f, u, error, 1, 1u << 20))
+                return false;
+            out.config.procs = static_cast<std::uint32_t>(u);
+        } else if (f.key == "max_procs") {
+            if (!parseUintField(f, u, error, 1, 1u << 20))
+                return false;
+            out.maxProcs = static_cast<std::uint32_t>(u);
+        } else if (f.key == "gap") {
+            if (f.value == "single")
+                out.config.gapPolicy = logp::GapPolicy::Single;
+            else if (f.value == "per-direction")
+                out.config.gapPolicy = logp::GapPolicy::PerDirection;
+            else if (f.value == "bisection")
+                out.config.gapPolicy = logp::GapPolicy::BisectionOnly;
+            else
+                return fail(error,
+                            "unknown gap policy '" + f.value +
+                                "' (valid: single, per-direction, "
+                                "bisection)");
+        } else if (f.key == "protocol") {
+            if (f.value == "berkeley")
+                out.config.protocol = mach::ProtocolKind::Berkeley;
+            else if (f.value == "msi")
+                out.config.protocol = mach::ProtocolKind::Msi;
+            else
+                return fail(error, "unknown protocol '" + f.value +
+                                       "' (valid: berkeley, msi)");
+        } else if (f.key == "cache_kb") {
+            if (!parseUintField(f, u, error, 1, 1u << 20))
+                return false;
+            out.config.cache.bytes =
+                static_cast<std::uint32_t>(u) * 1024u;
+        } else if (f.key == "check") {
+            if (!parseBoolField(f, out.config.checkResult, error))
+                return false;
+        } else if (f.key == "metric") {
+            if (f.value == "exec" || f.value == "exec_time")
+                out.metric = core::Metric::ExecTime;
+            else if (f.value == "latency")
+                out.metric = core::Metric::Latency;
+            else if (f.value == "contention")
+                out.metric = core::Metric::Contention;
+            else
+                return fail(error,
+                            "unknown metric '" + f.value +
+                                "' (valid: exec, latency, contention)");
+        } else if (f.key == "deadline_s") {
+            if (!parseDoubleField(f, out.policy.budget.maxWallSeconds,
+                                  error))
+                return false;
+        } else if (f.key == "max_events") {
+            if (!parseUintField(f, out.policy.budget.maxEvents, error, 0,
+                                std::numeric_limits<std::uint64_t>::max()))
+                return false;
+        } else if (f.key == "max_sim_time") {
+            if (!parseUintField(f, u, error, 0,
+                                std::numeric_limits<std::uint64_t>::max()))
+                return false;
+            out.policy.budget.maxSimTime = static_cast<sim::Tick>(u);
+        } else if (f.key == "stall_limit") {
+            if (!parseUintField(f, out.policy.budget.stallDispatchLimit,
+                                error, 0,
+                                std::numeric_limits<std::uint64_t>::max()))
+                return false;
+        } else if (f.key == "retries") {
+            if (!parseUintField(f, u, error, 1, 100))
+                return false;
+            out.policy.maxAttempts = static_cast<int>(u);
+        } else if (f.key == "backoff_ms") {
+            if (!parseUintField(f, u, error, 0, 60'000))
+                return false;
+            out.policy.retryBackoffMs = static_cast<std::uint32_t>(u);
+        } else if (f.key == "trace") {
+            if (!sim::parseTraceMask(f.value, out.policy.traceMask))
+                return fail(error,
+                            "invalid trace categories '" + f.value +
+                                "' (valid: protocol, network, logp, "
+                                "runtime, all)");
+        } else if (f.key == "fault_plan") {
+            try {
+                out.faultPlan = fault::Plan::parse(f.value);
+                out.faultPlanText = f.value;
+            } catch (const std::invalid_argument &e) {
+                return fail(error, "invalid fault_plan: " +
+                                       std::string(e.what()));
+            }
+        } else {
+            return fail(error, "unknown field '" + f.key + "'");
+        }
+    }
+    if (!sawOp)
+        return fail(error, "missing op field");
+    if (out.op != "ping" && out.op != "run" && out.op != "sweep" &&
+        out.op != "stats" && out.op != "drain" && out.op != "shutdown")
+        return fail(error, "unknown op '" + out.op +
+                               "' (valid: ping, run, sweep, stats, "
+                               "drain, shutdown)");
+    if (out.op == "run" || out.op == "sweep") {
+        try {
+            (void)apps::makeApp(out.config.app);
+        } catch (const std::invalid_argument &) {
+            return fail(error, "unknown app '" + out.config.app +
+                                   "' (valid: " +
+                                   [] {
+                                       std::string names;
+                                       for (const std::string &n :
+                                            apps::appNames()) {
+                                           if (!names.empty())
+                                               names += ", ";
+                                           names += n;
+                                       }
+                                       return names;
+                                   }() +
+                                   ")");
+        }
+    }
+    return true;
+}
+
+std::string
+pingResponse()
+{
+    return "{\"status\":\"ok\",\"op\":\"ping\"}";
+}
+
+std::string
+runResponse(const std::string &keyHex, const core::RunConfig &config,
+            const stats::Profile &profile)
+{
+    std::string out = "{\"status\":\"ok\",\"op\":\"run\",\"key\":\"" +
+                      keyHex + "\",\"app\":\"" +
+                      core::jsonEscape(config.app) + "\",\"machine\":\"" +
+                      mach::specFor(config.machine).name +
+                      "\",\"topology\":\"" +
+                      net::toString(config.topology) +
+                      "\",\"procs\":" + std::to_string(config.procs);
+    out += ",\"exec_time\":" + core::formatDouble(core::metricValue(
+                                   profile, core::Metric::ExecTime));
+    out += ",\"latency\":" + core::formatDouble(core::metricValue(
+                                 profile, core::Metric::Latency));
+    out += ",\"contention\":" + core::formatDouble(core::metricValue(
+                                    profile, core::Metric::Contention));
+    return out + "}";
+}
+
+std::string
+errorResponse(const std::string &op, const std::string &errorName,
+              const std::string &message, int attempts,
+              const std::string &trace)
+{
+    std::string out = "{\"status\":\"error\",\"op\":\"" +
+                      core::jsonEscape(op) + "\",\"error\":\"" +
+                      core::jsonEscape(errorName) + "\",\"message\":\"" +
+                      core::jsonEscape(message) + "\"";
+    if (attempts > 0)
+        out += ",\"attempts\":" + std::to_string(attempts);
+    if (!trace.empty())
+        out += ",\"trace\":\"" + core::jsonEscape(trace) + "\"";
+    return out + "}";
+}
+
+std::string
+shedResponse(std::size_t queued, std::size_t maxQueue)
+{
+    return "{\"status\":\"shed\",\"error\":\"admission-reject\","
+           "\"message\":\"queue full; retry later\",\"queued\":" +
+           std::to_string(queued) +
+           ",\"max_queue\":" + std::to_string(maxQueue) + "}";
+}
+
+std::string
+drainingResponse()
+{
+    return "{\"status\":\"draining\",\"error\":\"draining\","
+           "\"message\":\"service is draining; no new work accepted\"}";
+}
+
+} // namespace absim::serve

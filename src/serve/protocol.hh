@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Line-JSON wire protocol of the absim serve daemon.
+ *
+ * Requests and responses are flat JSON objects, one per line, in the
+ * same hand-rolled dialect as the sweep journals (core/journal.hh):
+ * string / number / boolean fields only, no nesting except the sweep
+ * response's fixed-shape arrays.  Request fields may arrive in any
+ * order — parsing lands them in a RunConfig/RunPolicy and the cache
+ * key is rendered from those in canonical field order, so field order
+ * never splits the cache (see core/cache_key.hh).
+ *
+ * Request ops:
+ *
+ *   {"op":"ping"}
+ *   {"op":"run","app":"is","machine":"logpc","procs":8,...}
+ *   {"op":"sweep","app":"fft","machine":"logp+c","metric":"latency",
+ *    "max_procs":16,...}
+ *   {"op":"stats"}         cache/admission counters
+ *   {"op":"drain"}         begin graceful drain (keep serving hits)
+ *   {"op":"shutdown"}      drain, then ask the daemon to exit
+ *
+ * Optional run/sweep fields: "size" (problem size), "seed",
+ * "iterations", "variant", "topology", "gap", "protocol", "cache_kb",
+ * "check" (bool), "deadline_s" (wall-clock budget, watchdog-enforced),
+ * "max_events", "max_sim_time", "stall_limit", "retries" (total
+ * attempts), "backoff_ms" (capped deterministic retry backoff),
+ * "trace" (comma-separated sim trace categories captured into error
+ * responses), "fault_plan" (deterministic chaos plan, tests only).
+ *
+ * Response statuses: "ok", "error" (named RunError kind, or
+ * "DeadlineExceeded" / "bad-request"), "shed" (admission reject),
+ * "draining".  A run's success response is the byte-exact payload the
+ * result cache stores, so a cache hit — in this process or after a
+ * crash-restart — repeats the original bytes.
+ */
+
+#ifndef ABSIM_SERVE_PROTOCOL_HH
+#define ABSIM_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/figures.hh"
+#include "fault/fault.hh"
+
+namespace absim::serve {
+
+/** One field of a flat line-JSON object. */
+struct JsonField
+{
+    std::string key;
+    std::string value; ///< Unescaped string value, or the raw token.
+    bool isString = false;
+};
+
+/**
+ * Tokenize a flat JSON object line ({"k":"v","n":1,...}).  Rejects
+ * nesting, trailing garbage and torn lines.  Shared by the request
+ * parser and the result-cache journal loader.
+ */
+[[nodiscard]] bool parseFlatJson(const std::string &line,
+                                 std::vector<JsonField> &out);
+
+/** Extract one numeric field from a flat JSON line (e.g. a metric from
+ *  a cached run payload). */
+[[nodiscard]] bool extractNumber(const std::string &line,
+                                 const std::string &key, double &out);
+
+/** A parsed request, ready for the service to execute. */
+struct Request
+{
+    std::string op;
+
+    /** run/sweep: the target run (procs is the point for "run"). */
+    core::RunConfig config;
+
+    /** Per-request policy: defaults from the service, overridden by
+     *  request fields (deadline_s lands in budget.maxWallSeconds). */
+    core::RunPolicy policy;
+
+    /** sweep only: which metric the curve plots. */
+    core::Metric metric = core::Metric::ExecTime;
+
+    /** sweep only: sweep the default proc counts up to this cap. */
+    std::uint32_t maxProcs = 32;
+
+    /** Deterministic chaos plan ("" = none); parsed into faultPlan. */
+    std::string faultPlanText;
+    fault::Plan faultPlan;
+};
+
+/**
+ * Parse one request line.  @p defaults seeds Request::policy (the
+ * service's budgets/retry defaults) before request fields override it.
+ * @return false with a named "bad-request" diagnostic in @p error.
+ */
+[[nodiscard]] bool parseRequest(const std::string &line,
+                                const core::RunPolicy &defaults,
+                                Request &out, std::string &error);
+
+/** {"status":"ok","op":"ping"} */
+std::string pingResponse();
+
+/** The cacheable success payload of a run: all three figure metrics,
+ *  stamped with the canonical machine name and the key. */
+std::string runResponse(const std::string &keyHex,
+                        const core::RunConfig &config,
+                        const stats::Profile &profile);
+
+/** Error response; @p errorName is the RunError kind name,
+ *  "DeadlineExceeded", or "bad-request". */
+std::string errorResponse(const std::string &op,
+                          const std::string &errorName,
+                          const std::string &message, int attempts = 0,
+                          const std::string &trace = "");
+
+/** Deterministic admission reject: {"status":"shed",...}. */
+std::string shedResponse(std::size_t queued, std::size_t maxQueue);
+
+/** {"status":"draining","error":"draining"} */
+std::string drainingResponse();
+
+} // namespace absim::serve
+
+#endif // ABSIM_SERVE_PROTOCOL_HH

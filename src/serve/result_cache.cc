@@ -1,0 +1,114 @@
+#include "serve/result_cache.hh"
+
+#include <fstream>
+
+#include "core/cache_key.hh"
+#include "serve/protocol.hh"
+
+namespace absim::serve {
+
+namespace {
+
+constexpr const char *kCacheHeader = "{\"absim_cache\":1}";
+
+/** Decode one cache record line; false = torn/foreign line. */
+bool
+decodeEntry(const std::string &line, std::uint64_t &key,
+            std::string &payload)
+{
+    std::vector<JsonField> fields;
+    if (!parseFlatJson(line, fields))
+        return false;
+    bool sawKey = false;
+    bool sawPayload = false;
+    std::string canon;
+    for (const JsonField &f : fields) {
+        if (f.key == "key" && f.isString)
+            sawKey = core::parseKeyHex(f.value, key);
+        else if (f.key == "payload" && f.isString) {
+            payload = f.value;
+            sawPayload = true;
+        } else if (f.key == "canon" && f.isString)
+            canon = f.value;
+    }
+    if (!sawKey || !sawPayload)
+        return false;
+    // The stored canonical string must re-hash to the stored key:
+    // catches canonicalization drift and on-disk corruption that still
+    // parses as JSON.
+    return canon.empty() || core::fnv1a64(canon) == key;
+}
+
+} // namespace
+
+bool
+ResultCache::open(const std::string &path)
+{
+    close();
+    entries_.clear();
+    torn_ = false;
+    recovered_ = 0;
+    if (path.empty())
+        return false;
+
+    std::uint64_t cleanBytes = 0;
+    bool haveHeader = false;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string line;
+        // The header must be intact and newline-terminated, exactly
+        // like a sweep journal; anything else starts a fresh cache.
+        if (in && std::getline(in, line) && !in.eof() &&
+            line == kCacheHeader) {
+            haveHeader = true;
+            cleanBytes = line.size() + 1;
+            while (std::getline(in, line)) {
+                const bool terminated = !in.eof();
+                std::uint64_t key = 0;
+                std::string payload;
+                if (!terminated || !decodeEntry(line, key, payload)) {
+                    // Torn (or corrupt) tail: the clean prefix above
+                    // this line is the resume point.
+                    torn_ = true;
+                    break;
+                }
+                cleanBytes += line.size() + 1;
+                entries_.emplace(key, std::move(payload));
+            }
+            recovered_ = entries_.size();
+        }
+    }
+    const bool ok = haveHeader ? writer_.resume(path, cleanBytes)
+                               : writer_.startLine(path, kCacheHeader);
+    return ok;
+}
+
+void
+ResultCache::close()
+{
+    writer_.close();
+}
+
+bool
+ResultCache::lookup(std::uint64_t key, std::string &payload) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    payload = it->second;
+    return true;
+}
+
+void
+ResultCache::insert(std::uint64_t key, const std::string &canon,
+                    const std::string &payload)
+{
+    if (!entries_.emplace(key, payload).second)
+        return; // First write wins: responses stay byte-identical.
+    writer_.appendLine("{\"key\":\"" + core::formatKeyHex(key) +
+                       "\",\"canon\":\"" + core::jsonEscape(canon) +
+                       "\",\"payload\":\"" + core::jsonEscape(payload) +
+                       "\"}");
+}
+
+} // namespace absim::serve

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <string_view>
 
 #include "sim/types.hh"
 
@@ -30,6 +32,44 @@ enum class TraceCategory : std::uint32_t
     LogP = 1u << 2,     ///< LogP message timing.
     Runtime = 1u << 3,  ///< Processor-level events.
 };
+
+/** All four category bits, the "all" spelling of parseTraceMask(). */
+inline constexpr std::uint32_t kAllTraceCategories = 0xf;
+
+/**
+ * Parse a comma-separated category list ("protocol,logp", or "all")
+ * into a bitmask.  Used by the ABSIM_FAIL_TRACE env knob, run_cli's
+ * --trace-fail and the serve request "trace" field.
+ * @return false on an empty list or an unknown name.
+ */
+[[nodiscard]] inline bool
+parseTraceMask(std::string_view text, std::uint32_t &mask)
+{
+    std::uint32_t out = 0;
+    while (!text.empty()) {
+        const auto comma = text.find(',');
+        const std::string_view name = text.substr(0, comma);
+        if (name == "protocol")
+            out |= static_cast<std::uint32_t>(TraceCategory::Protocol);
+        else if (name == "network")
+            out |= static_cast<std::uint32_t>(TraceCategory::Network);
+        else if (name == "logp")
+            out |= static_cast<std::uint32_t>(TraceCategory::LogP);
+        else if (name == "runtime")
+            out |= static_cast<std::uint32_t>(TraceCategory::Runtime);
+        else if (name == "all")
+            out |= kAllTraceCategories;
+        else
+            return false;
+        if (comma == std::string_view::npos)
+            break;
+        text.remove_prefix(comma + 1);
+    }
+    if (out == 0)
+        return false;
+    mask = out;
+    return true;
+}
 
 /**
  * Trace configuration and sink.
@@ -109,6 +149,92 @@ Trace::instance()
         detail::tl_trace = &detail::threadDefaultTrace();
     return *detail::tl_trace;
 }
+
+/**
+ * A trace sink that keeps only the *tail* of what was written, bounded
+ * to @p limit bytes.  Failure forensics want the last events before
+ * the watchdog fired, not the first megabyte of a wedged run — the
+ * resilient sweep attaches one of these per run attempt and embeds
+ * excerpt() in the failure manifest (see core::RunPolicy::traceMask).
+ */
+class BoundedTraceSink : private std::streambuf
+{
+  public:
+    static constexpr std::size_t kDefaultLimit = 4096;
+
+    explicit BoundedTraceSink(std::size_t limit = kDefaultLimit)
+        : limit_(limit != 0 ? limit : 1), out_(this)
+    {
+    }
+
+    BoundedTraceSink(const BoundedTraceSink &) = delete;
+    BoundedTraceSink &operator=(const BoundedTraceSink &) = delete;
+
+    /** The ostream to install via Trace::setSink(). */
+    std::ostream &stream() { return out_; }
+
+    /** True once writes have overflowed the limit and the head was
+     *  dropped. */
+    bool truncated() const { return truncated_; }
+
+    /**
+     * The captured tail.  When truncated, the (likely partial) first
+     * line is dropped and a marker line prepended, so the excerpt
+     * always starts on a line boundary.
+     */
+    std::string excerpt() const
+    {
+        if (!truncated_)
+            return data_;
+        std::string out = "[trace tail; head dropped at " +
+                          std::to_string(limit_) + " bytes]\n";
+        const auto newline = data_.find('\n');
+        out += newline == std::string::npos
+                   ? data_
+                   : data_.substr(newline + 1);
+        return out;
+    }
+
+    bool empty() const { return data_.empty(); }
+
+  protected:
+    int_type overflow(int_type ch) override
+    {
+        if (ch != traits_type::eof()) {
+            data_ += static_cast<char>(ch);
+            trim();
+        }
+        return ch;
+    }
+
+    std::streamsize xsputn(const char *s, std::streamsize n) override
+    {
+        // Oversized writes keep only their own tail.
+        if (static_cast<std::size_t>(n) > limit_) {
+            truncated_ = true;
+            s += n - static_cast<std::streamsize>(limit_);
+            data_.append(s, limit_);
+        } else {
+            data_.append(s, static_cast<std::size_t>(n));
+        }
+        trim();
+        return n;
+    }
+
+  private:
+    void trim()
+    {
+        if (data_.size() > limit_) {
+            data_.erase(0, data_.size() - limit_);
+            truncated_ = true;
+        }
+    }
+
+    std::size_t limit_;
+    std::string data_;
+    bool truncated_ = false;
+    std::ostream out_;
+};
 
 /**
  * RAII: install @p trace as the current thread's trace and restore the

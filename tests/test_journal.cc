@@ -61,6 +61,37 @@ TEST(Journal, RecordEncodeDecodeRoundTrips)
     EXPECT_EQ(out.message, failure.message);
 }
 
+TEST(Journal, FailureRecordCarriesOptionalTraceExcerpt)
+{
+    core::JournalRecord failure;
+    failure.procs = 16;
+    failure.failed = true;
+    failure.machine = "logp";
+    failure.error = "Deadlock";
+    failure.message = "clock stuck";
+    failure.trace = "[5] send p0 -> p1\n[9] recv p1\n";
+
+    const std::string line = core::encodeRecord(failure);
+    core::JournalRecord out;
+    ASSERT_TRUE(core::decodeRecord(line, out));
+    EXPECT_EQ(out.trace, failure.trace);
+
+    // A traceless failure encodes without the field at all, so journals
+    // written before trace capture existed keep their exact bytes.
+    failure.trace.clear();
+    EXPECT_EQ(core::encodeRecord(failure).find("\"trace\""),
+              std::string::npos);
+    ASSERT_TRUE(core::decodeRecord(core::encodeRecord(failure), out));
+    EXPECT_TRUE(out.trace.empty());
+}
+
+TEST(Journal, FsyncIntervalDefaultsToCompiledConstant)
+{
+    // With ABSIM_FSYNC_INTERVAL unset the knob is the compiled default;
+    // the garbage/zero path (exit 2) is pinned by a bench ctest.
+    EXPECT_EQ(core::journalFsyncInterval(), core::kJournalFsyncInterval);
+}
+
 TEST(Journal, DecodeRejectsTornLines)
 {
     core::JournalRecord out;

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Tests for the serve subsystem outside the chaos suite: the line-JSON
+ * protocol parser, the journal-backed result cache's crash recovery,
+ * and the service's steady-state behavior — caching, byte-identical
+ * replay, admission bookkeeping, drain semantics and sweeps.
+ *
+ * Failure-branch coverage that wedges fibers (chaos plans, deadlines)
+ * lives in test_serve_chaos.cc, in the leak-check-exempt binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/cache_key.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/service.hh"
+#include "sim/trace.hh"
+
+namespace {
+
+using namespace absim;
+
+// ---------------------------------------------------------------------
+// Protocol parsing.
+
+TEST(ServeProtocol, ParsesFlatJsonFieldsOfEveryType)
+{
+    std::vector<serve::JsonField> fields;
+    ASSERT_TRUE(serve::parseFlatJson(
+        "{\"s\":\"a\\\"b\",\"n\":-1.5e3,\"t\":true,\"e\":\"\"}", fields));
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0].key, "s");
+    EXPECT_EQ(fields[0].value, "a\"b");
+    EXPECT_TRUE(fields[0].isString);
+    EXPECT_EQ(fields[1].value, "-1.5e3");
+    EXPECT_FALSE(fields[1].isString);
+    EXPECT_EQ(fields[2].value, "true");
+    EXPECT_EQ(fields[3].value, "");
+}
+
+TEST(ServeProtocol, RejectsTornNestedAndTrailingGarbage)
+{
+    std::vector<serve::JsonField> fields;
+    EXPECT_FALSE(serve::parseFlatJson("", fields));
+    EXPECT_FALSE(serve::parseFlatJson("{\"a\":1", fields));
+    EXPECT_FALSE(serve::parseFlatJson("{\"a\":\"tor", fields));
+    EXPECT_FALSE(serve::parseFlatJson("{\"a\":{\"b\":1}}", fields));
+    EXPECT_FALSE(serve::parseFlatJson("{\"a\":[1]}", fields));
+    EXPECT_FALSE(serve::parseFlatJson("{\"a\":1}x", fields));
+    EXPECT_TRUE(serve::parseFlatJson("{}", fields));
+    EXPECT_TRUE(fields.empty());
+}
+
+TEST(ServeProtocol, RequestDiagnosticsNameTheOffendingField)
+{
+    serve::Request request;
+    std::string error;
+    const core::RunPolicy defaults;
+
+    EXPECT_FALSE(serve::parseRequest("{\"op\":\"fly\"}", defaults,
+                                     request, error));
+    EXPECT_NE(error.find("unknown op 'fly'"), std::string::npos) << error;
+
+    EXPECT_FALSE(serve::parseRequest(
+        "{\"op\":\"run\",\"app\":\"barnes\"}", defaults, request, error));
+    EXPECT_NE(error.find("unknown app 'barnes'"), std::string::npos)
+        << error;
+
+    EXPECT_FALSE(serve::parseRequest(
+        "{\"op\":\"run\",\"machine\":\"cray\"}", defaults, request,
+        error));
+    EXPECT_NE(error.find("unknown machine 'cray'"), std::string::npos)
+        << error;
+
+    EXPECT_FALSE(serve::parseRequest(
+        "{\"op\":\"run\",\"procs\":\"many\"}", defaults, request, error));
+    EXPECT_NE(error.find("procs"), std::string::npos) << error;
+
+    EXPECT_FALSE(serve::parseRequest(
+        "{\"op\":\"run\",\"fault_plan\":\"explode@9\"}", defaults,
+        request, error));
+    EXPECT_NE(error.find("fault_plan"), std::string::npos) << error;
+
+    EXPECT_FALSE(serve::parseRequest(
+        "{\"op\":\"run\",\"trace\":\"everything\"}", defaults, request,
+        error));
+    EXPECT_NE(error.find("trace"), std::string::npos) << error;
+}
+
+TEST(ServeProtocol, RequestFieldsOverrideServiceDefaults)
+{
+    core::RunPolicy defaults;
+    defaults.budget.maxWallSeconds = 30.0;
+    defaults.maxAttempts = 1;
+
+    serve::Request request;
+    std::string error;
+    ASSERT_TRUE(serve::parseRequest(
+        "{\"op\":\"run\",\"app\":\"ep\",\"deadline_s\":2.5,"
+        "\"retries\":3,\"backoff_ms\":10,\"seed\":99,"
+        "\"trace\":\"logp,runtime\"}",
+        defaults, request, error))
+        << error;
+    EXPECT_EQ(request.policy.budget.maxWallSeconds, 2.5);
+    EXPECT_EQ(request.policy.maxAttempts, 3);
+    EXPECT_EQ(request.policy.retryBackoffMs, 10u);
+    EXPECT_EQ(request.config.params.seed, 99u);
+    EXPECT_EQ(request.policy.traceMask,
+              static_cast<std::uint32_t>(sim::TraceCategory::LogP) |
+                  static_cast<std::uint32_t>(sim::TraceCategory::Runtime));
+
+    // Untouched fields keep the service defaults.
+    ASSERT_TRUE(serve::parseRequest("{\"op\":\"run\",\"app\":\"ep\"}",
+                                    defaults, request, error));
+    EXPECT_EQ(request.policy.budget.maxWallSeconds, 30.0);
+    EXPECT_EQ(request.policy.maxAttempts, 1);
+}
+
+TEST(ServeProtocol, ExtractNumberFindsFieldsInPayloads)
+{
+    const std::string payload =
+        "{\"status\":\"ok\",\"exec_time\":1290.43,\"latency\":432.8}";
+    double value = 0.0;
+    ASSERT_TRUE(serve::extractNumber(payload, "latency", value));
+    EXPECT_EQ(value, 432.8);
+    EXPECT_FALSE(serve::extractNumber(payload, "contention", value));
+}
+
+// ---------------------------------------------------------------------
+// Result cache durability.
+
+TEST(ServeCache, PersistsEntriesAcrossReopen)
+{
+    const std::string path = testing::TempDir() + "absim_cache.jsonl";
+    std::remove(path.c_str());
+    {
+        serve::ResultCache cache;
+        ASSERT_TRUE(cache.open(path));
+        cache.insert(core::fnv1a64("canon-a"), "canon-a", "payload-a");
+        cache.insert(core::fnv1a64("canon-b"), "canon-b", "payload-b");
+        cache.close();
+    }
+    serve::ResultCache cache;
+    ASSERT_TRUE(cache.open(path));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.recoveredEntries(), 2u);
+    EXPECT_FALSE(cache.recoveredTornTail());
+    std::string payload;
+    ASSERT_TRUE(cache.lookup(core::fnv1a64("canon-a"), payload));
+    EXPECT_EQ(payload, "payload-a");
+}
+
+TEST(ServeCache, TornTailIsDroppedAndTruncatedOnReopen)
+{
+    const std::string path = testing::TempDir() + "absim_cache_torn.jsonl";
+    std::remove(path.c_str());
+    {
+        serve::ResultCache cache;
+        ASSERT_TRUE(cache.open(path));
+        cache.insert(core::fnv1a64("intact"), "intact", "survives");
+        cache.close();
+    }
+    {
+        // kill -9 mid-append: an unterminated trailing record.
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "{\"key\":\"0000000000000001\",\"canon\":\"half";
+    }
+    {
+        serve::ResultCache cache;
+        ASSERT_TRUE(cache.open(path));
+        EXPECT_TRUE(cache.recoveredTornTail());
+        EXPECT_EQ(cache.size(), 1u);
+        std::string payload;
+        ASSERT_TRUE(cache.lookup(core::fnv1a64("intact"), payload));
+        EXPECT_EQ(payload, "survives");
+        // Appending after recovery welds onto the clean prefix.
+        cache.insert(core::fnv1a64("after"), "after", "appended");
+        cache.close();
+    }
+    serve::ResultCache cache;
+    ASSERT_TRUE(cache.open(path));
+    EXPECT_FALSE(cache.recoveredTornTail());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ServeCache, RecordWhoseCanonMismatchesItsKeyIsATear)
+{
+    const std::string path = testing::TempDir() + "absim_cache_bad.jsonl";
+    std::remove(path.c_str());
+    {
+        serve::ResultCache cache;
+        ASSERT_TRUE(cache.open(path));
+        cache.insert(core::fnv1a64("good"), "good", "kept");
+        cache.close();
+    }
+    {
+        // Corruption that still parses as JSON: key and canon disagree.
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "{\"key\":\"00000000deadbeef\",\"canon\":\"drifted\","
+               "\"payload\":\"poison\"}\n";
+    }
+    serve::ResultCache cache;
+    ASSERT_TRUE(cache.open(path));
+    EXPECT_TRUE(cache.recoveredTornTail());
+    EXPECT_EQ(cache.size(), 1u);
+    std::string payload;
+    EXPECT_FALSE(cache.lookup(0x00000000deadbeefull, payload));
+}
+
+TEST(ServeCache, FirstWriteWinsOnDuplicateKeys)
+{
+    serve::ResultCache cache;
+    (void)cache.open(""); // Memory-only.
+    cache.insert(42, "canon", "first");
+    cache.insert(42, "canon", "second");
+    std::string payload;
+    ASSERT_TRUE(cache.lookup(42, payload));
+    EXPECT_EQ(payload, "first");
+}
+
+// ---------------------------------------------------------------------
+// Service behavior (steady state).
+
+serve::ServiceConfig
+smallConfig()
+{
+    serve::ServiceConfig config;
+    config.workers = 2;
+    config.maxQueue = 4;
+    return config;
+}
+
+TEST(ServeService, RepeatedRunIsAByteIdenticalCacheHit)
+{
+    serve::Service service(smallConfig());
+    const std::string request = "{\"op\":\"run\",\"app\":\"is\","
+                                "\"machine\":\"logpc\",\"procs\":4,"
+                                "\"size\":256}";
+    const std::string first = service.handle(request);
+    ASSERT_NE(first.find("\"status\":\"ok\""), std::string::npos)
+        << first;
+    // Same run, aliased machine spelling and shuffled fields: exact
+    // bytes back, no second simulation.
+    const std::string second = service.handle(
+        "{\"size\":256,\"procs\":4,\"machine\":\"logp+c\","
+        "\"app\":\"is\",\"op\":\"run\"}");
+    EXPECT_EQ(first, second);
+    const serve::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cacheMisses, 1u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+}
+
+TEST(ServeService, CacheSurvivesRestartByteIdentical)
+{
+    const std::string path =
+        testing::TempDir() + "absim_service_cache.jsonl";
+    std::remove(path.c_str());
+    const std::string request = "{\"op\":\"run\",\"app\":\"ep\","
+                                "\"machine\":\"logpc\",\"procs\":2,"
+                                "\"size\":128}";
+    std::string first;
+    {
+        serve::ServiceConfig config = smallConfig();
+        config.cachePath = path;
+        serve::Service service(config);
+        first = service.handle(request);
+        ASSERT_NE(first.find("\"status\":\"ok\""), std::string::npos)
+            << first;
+        service.drain();
+    }
+    serve::ServiceConfig config = smallConfig();
+    config.cachePath = path;
+    serve::Service service(config);
+    EXPECT_EQ(service.handle(request), first);
+    EXPECT_EQ(service.stats().cacheHits, 1u);
+    EXPECT_EQ(service.stats().cacheMisses, 0u);
+}
+
+TEST(ServeService, BadRequestsAreNamedNotFatal)
+{
+    serve::Service service(smallConfig());
+    const std::string response = service.handle("{\"op\":\"run\"");
+    EXPECT_NE(response.find("\"status\":\"error\""), std::string::npos);
+    EXPECT_NE(response.find("\"error\":\"bad-request\""),
+              std::string::npos);
+    EXPECT_EQ(service.stats().badRequests, 1u);
+    // The service still works afterwards.
+    EXPECT_NE(service.handle("{\"op\":\"ping\"}").find("\"op\":\"ping\""),
+              std::string::npos);
+}
+
+TEST(ServeService, DrainRefusesNewComputeButServesHits)
+{
+    serve::Service service(smallConfig());
+    const std::string request = "{\"op\":\"run\",\"app\":\"is\","
+                                "\"machine\":\"logpc\",\"procs\":4,"
+                                "\"size\":256}";
+    const std::string cached = service.handle(request);
+    const std::string drained = service.handle("{\"op\":\"drain\"}");
+    EXPECT_NE(drained.find("\"draining\":true"), std::string::npos);
+    EXPECT_TRUE(service.draining());
+
+    // New compute: the draining response, immediately.
+    const std::string refused = service.handle(
+        "{\"op\":\"run\",\"app\":\"is\",\"machine\":\"logpc\","
+        "\"procs\":8,\"size\":256}");
+    EXPECT_NE(refused.find("\"status\":\"draining\""), std::string::npos);
+
+    // A hit is a lookup, not work: still served, byte-identical.
+    EXPECT_EQ(service.handle(request), cached);
+    EXPECT_EQ(service.stats().rejectedDraining, 1u);
+}
+
+TEST(ServeService, ShutdownOpFlagsTheDaemonLoop)
+{
+    serve::Service service(smallConfig());
+    EXPECT_FALSE(service.shutdownRequested());
+    const std::string response = service.handle("{\"op\":\"shutdown\"}");
+    EXPECT_NE(response.find("\"op\":\"shutdown\""), std::string::npos);
+    EXPECT_TRUE(service.shutdownRequested());
+    EXPECT_TRUE(service.draining());
+}
+
+TEST(ServeService, SweepReusesTheRunCacheAndReportsPoints)
+{
+    serve::Service service(smallConfig());
+    // Warm one point via the run op ...
+    const std::string run = service.handle(
+        "{\"op\":\"run\",\"app\":\"is\",\"machine\":\"logpc\","
+        "\"procs\":4,\"size\":256}");
+    ASSERT_NE(run.find("\"status\":\"ok\""), std::string::npos) << run;
+    // ... then sweep across it: the warmed point must be a hit.
+    const std::string sweep = service.handle(
+        "{\"op\":\"sweep\",\"app\":\"is\",\"machine\":\"logpc\","
+        "\"size\":256,\"max_procs\":8}");
+    EXPECT_NE(sweep.find("\"op\":\"sweep\""), std::string::npos);
+    EXPECT_NE(sweep.find("\"complete\":true"), std::string::npos);
+    EXPECT_NE(sweep.find("\"procs\":8"), std::string::npos);
+    EXPECT_NE(sweep.find("\"failures\":[]"), std::string::npos);
+    EXPECT_GE(service.stats().cacheHits, 1u);
+
+    // A second sweep is pure cache replay: byte-identical.
+    EXPECT_EQ(service.handle(
+                  "{\"op\":\"sweep\",\"app\":\"is\","
+                  "\"machine\":\"logpc\",\"size\":256,\"max_procs\":8}"),
+              sweep);
+}
+
+TEST(ServeService, StatsResponseCountsEveryOutcomeClass)
+{
+    serve::Service service(smallConfig());
+    (void)service.handle("{\"op\":\"ping\"}");
+    (void)service.handle("not json");
+    const std::string stats = service.handle("{\"op\":\"stats\"}");
+    EXPECT_NE(stats.find("\"received\":3"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"bad_requests\":1"), std::string::npos);
+    EXPECT_NE(stats.find("\"draining\":false"), std::string::npos);
+    EXPECT_NE(stats.find("\"torn_tail_recovered\":false"),
+              std::string::npos);
+}
+
+} // namespace

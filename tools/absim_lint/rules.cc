@@ -141,6 +141,7 @@ bool
 d2OutputPath(const std::string &path)
 {
     return startsWith(path, "src/core/") ||
+           startsWith(path, "src/serve/") ||
            startsWith(path, "src/stats/") || startsWith(path, "bench/");
 }
 
@@ -358,6 +359,9 @@ layerTable()
         {"core",
          {"apps", "check", "fault", "logp", "machines", "mem", "msg",
           "net", "runtime", "sim", "stats"}},
+        {"serve",
+         {"apps", "check", "core", "fault", "logp", "machines", "mem",
+          "msg", "net", "runtime", "sim", "stats"}},
     };
     return kTable;
 }
