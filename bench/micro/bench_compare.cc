@@ -1,0 +1,222 @@
+/// Regression gate for BENCH_*.json files: compare a current bench run
+/// against the committed baseline within a tolerance band.
+///
+///   bench_compare BASELINE.json CURRENT.json [--tolerance 0.15]
+///
+/// Exit 0: every bench within the band.  Exit 1: a regression beyond
+/// the band, a bench missing from the current run, or a determinism
+/// checksum ("value_sum*" counter) mismatch.  Exit 2: usage/IO errors.
+///
+/// The parser is deliberately schema-bound, not a general JSON reader:
+/// bench_common.hh writes one bench object per line with known keys,
+/// and this tool greps them back out — no third-party dependency, and
+/// a malformed file is a loud exit-2 diagnostic.
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/env.hh"
+
+namespace {
+
+struct BenchLine
+{
+    std::string name;
+    std::string unit;
+    double median = 0.0;
+    bool higherIsBetter = false;
+    std::map<std::string, double> counters;
+};
+
+/// Extract the JSON string value following "key":" on @p line.
+bool
+findString(const std::string &line, const std::string &key,
+           std::string &out)
+{
+    const std::string needle = "\"" + key + "\":\"";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const auto start = pos + needle.size();
+    const auto end = line.find('"', start);
+    if (end == std::string::npos)
+        return false;
+    out = line.substr(start, end - start);
+    return true;
+}
+
+bool
+findNumber(const std::string &line, const std::string &key, double &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    return absim::core::parseDouble(
+        line.substr(pos + needle.size(),
+                    line.find_first_of(",}]", pos + needle.size()) -
+                        pos - needle.size())
+            .c_str(),
+        out);
+}
+
+/// Parse every "counters":{...} entry on the line.
+void
+findCounters(const std::string &line, std::map<std::string, double> &out)
+{
+    const auto pos = line.find("\"counters\":{");
+    if (pos == std::string::npos)
+        return;
+    auto cursor = pos + 12;
+    const auto end = line.find('}', cursor);
+    if (end == std::string::npos)
+        return;
+    std::string body = line.substr(cursor, end - cursor);
+    std::istringstream ss(body);
+    std::string entry;
+    while (std::getline(ss, entry, ',')) {
+        const auto colon = entry.find("\":");
+        if (colon == std::string::npos || entry.size() < 2 ||
+            entry[0] != '"')
+            continue;
+        const std::string key = entry.substr(1, colon - 1);
+        double value = 0.0;
+        if (absim::core::parseDouble(entry.substr(colon + 2).c_str(),
+                                     value))
+            out[key] = value;
+    }
+}
+
+std::vector<BenchLine>
+loadBenchFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "error: cannot read bench file '" << path << "'\n";
+        std::exit(2);
+    }
+    std::vector<BenchLine> benches;
+    std::string line;
+    while (std::getline(in, line)) {
+        BenchLine b;
+        if (!findString(line, "name", b.name))
+            continue; // Header / footer lines.
+        if (!findString(line, "unit", b.unit) ||
+            !findNumber(line, "median", b.median)) {
+            std::cerr << "error: malformed bench line in '" << path
+                      << "': " << line << "\n";
+            std::exit(2);
+        }
+        b.higherIsBetter =
+            line.find("\"higher_is_better\":true") != std::string::npos;
+        findCounters(line, b.counters);
+        benches.push_back(std::move(b));
+    }
+    if (benches.empty()) {
+        std::cerr << "error: no benches found in '" << path << "'\n";
+        std::exit(2);
+    }
+    return benches;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    double tolerance = 0.15;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tolerance") {
+            if (i + 1 >= argc ||
+                !absim::core::parseDouble(argv[i + 1], tolerance) ||
+                tolerance < 0.0) {
+                std::cerr << "error: --tolerance needs a non-negative "
+                             "number\n";
+                return 2;
+            }
+            ++i;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: bench_compare BASELINE.json CURRENT.json"
+                         " [--tolerance FRACTION]\n";
+            return 0;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2) {
+        std::cerr << "usage: bench_compare BASELINE.json CURRENT.json"
+                     " [--tolerance FRACTION]\n";
+        return 2;
+    }
+
+    const auto baseline = loadBenchFile(files[0]);
+    const auto current = loadBenchFile(files[1]);
+    std::map<std::string, const BenchLine *> byName;
+    for (const BenchLine &b : current)
+        byName[b.name] = &b;
+
+    int failures = 0;
+    for (const BenchLine &base : baseline) {
+        const auto it = byName.find(base.name);
+        if (it == byName.end()) {
+            std::cerr << "FAIL " << base.name
+                      << ": present in baseline, missing from current "
+                         "run\n";
+            ++failures;
+            continue;
+        }
+        const BenchLine &cur = *it->second;
+        // Regression direction follows the bench's own polarity.
+        const double delta =
+            base.higherIsBetter
+                ? (base.median - cur.median) / base.median
+                : (cur.median - base.median) / base.median;
+        const char *verdict = delta > tolerance ? "FAIL" : "ok  ";
+        if (delta > tolerance)
+            ++failures;
+        std::printf("%s %-28s base %10.3f  cur %10.3f %-10s %+6.1f%%\n",
+                    verdict, base.name.c_str(), base.median, cur.median,
+                    cur.unit.c_str(), -delta * 100.0);
+        // Determinism tripwire: simulated-result checksums must match
+        // exactly (same inputs => same figure values, byte for byte).
+        for (const auto &[key, value] : base.counters) {
+            if (key.rfind("value_sum", 0) != 0)
+                continue;
+            const auto cit = cur.counters.find(key);
+            if (cit == cur.counters.end())
+                continue;
+            const double rel = std::abs(cit->second - value) /
+                               std::max(1.0, std::abs(value));
+            if (rel > 1e-9) {
+                std::cerr << "FAIL " << base.name << ": counter " << key
+                          << " drifted (base " << value << ", current "
+                          << cit->second
+                          << ") — simulated results changed\n";
+                ++failures;
+            }
+        }
+    }
+    for (const BenchLine &cur : current) {
+        bool known = false;
+        for (const BenchLine &base : baseline)
+            known = known || base.name == cur.name;
+        if (!known)
+            std::cout << "note " << cur.name
+                      << ": new bench (no baseline yet)\n";
+    }
+    if (failures != 0) {
+        std::cerr << failures << " bench(es) regressed beyond "
+                  << tolerance * 100.0 << "% — update the baseline only "
+                  << "with a recorded justification "
+                  << "(docs/PERFORMANCE.md)\n";
+        return 1;
+    }
+    return 0;
+}

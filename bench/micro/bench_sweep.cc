@@ -1,0 +1,62 @@
+/// Sweep macro-bench: wall time of the full fig14_is_full_exec sweep
+/// (IS on the Full network, execution-time metric, the classic machine
+/// trio at every P) — the end-to-end number the ROADMAP's trace-replay
+/// and Pareto-search speed claims are measured against.
+///
+/// Emits BENCH_sweep.json via the shared bench_common harness.  The
+/// figure values themselves are published as a counter (their sum), so
+/// a kernel "optimization" that changes simulated results trips the
+/// comparison gate even before the golden tests run.
+///
+/// Knobs: ABSIM_BENCH_SWEEP_SIZE (IS keys, default 16384),
+///        ABSIM_BENCH_SWEEP_PROCS (max P, default 32).
+#include <cstdint>
+
+#include "bench_common.hh"
+#include "core/experiment.hh"
+#include "core/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    using absim::bench::MicroSuite;
+    using absim::bench::wallNow;
+
+    MicroSuite suite("sweep", argc, argv);
+
+    absim::core::RunConfig base;
+    base.app = "is";
+    base.params.n = static_cast<std::uint32_t>(
+        absim::core::envUint("ABSIM_BENCH_SWEEP_SIZE", 16384, 256));
+    base.checkResult = false; // Time the sweep, not the validator.
+
+    const std::uint64_t max_procs =
+        absim::core::envUint("ABSIM_BENCH_SWEEP_PROCS", 32, 1, 1u << 10);
+    std::vector<std::uint32_t> procs;
+    for (std::uint32_t p : absim::core::defaultProcCounts())
+        if (p <= max_procs)
+            procs.push_back(p);
+
+    suite.run("fig14_sweep_s", "s", false, [&] {
+        const double begin = wallNow();
+        const absim::core::Figure figure = absim::core::sweepFigure(
+            "bench: Figure 14 sweep", base, absim::net::TopologyKind::Full,
+            absim::core::Metric::ExecTime, procs);
+        const double elapsed = wallNow() - begin;
+        // Checksum of the simulated results: byte-identity's first line
+        // of defense inside the bench gate itself.
+        double value_sum = 0.0;
+        std::uint64_t cells = 0;
+        for (const auto &point : figure.points)
+            for (double v : point.values) {
+                value_sum += v;
+                ++cells;
+            }
+        suite.setCounter("value_sum_us", value_sum);
+        suite.setCounter("cells", static_cast<double>(cells));
+        suite.setCounter("is_keys", static_cast<double>(base.params.n));
+        return elapsed;
+    });
+
+    return suite.finish();
+}

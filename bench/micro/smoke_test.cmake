@@ -1,0 +1,36 @@
+# End-to-end smoke of the micro suite at tiny scale: run both bench
+# binaries, then feed each JSON back through bench_compare against
+# itself (identical files are always inside the tolerance band).
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(ENV{ABSIM_BENCH_REPEATS} 2)
+set(ENV{ABSIM_BENCH_WARMUP} 0)
+set(ENV{ABSIM_BENCH_EVENTS} 20000)
+set(ENV{ABSIM_BENCH_SWITCHES} 5000)
+set(ENV{ABSIM_BENCH_DIRMEM_SIZE} 1024)
+set(ENV{ABSIM_BENCH_SWEEP_SIZE} 512)
+set(ENV{ABSIM_BENCH_SWEEP_PROCS} 4)
+set(ENV{ABSIM_BENCH_JSON_DIR} ${WORK_DIR})
+
+execute_process(COMMAND ${BENCH_KERNEL} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_kernel failed: ${rc}")
+endif()
+execute_process(COMMAND ${BENCH_SWEEP} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_sweep failed: ${rc}")
+endif()
+
+foreach(suite kernel sweep)
+    if(NOT EXISTS ${WORK_DIR}/BENCH_${suite}.json)
+        message(FATAL_ERROR "BENCH_${suite}.json was not written")
+    endif()
+    execute_process(COMMAND ${BENCH_COMPARE}
+                    ${WORK_DIR}/BENCH_${suite}.json
+                    ${WORK_DIR}/BENCH_${suite}.json
+                    RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "bench_compare rejected identical ${suite} files: ${rc}")
+    endif()
+endforeach()

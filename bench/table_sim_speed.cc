@@ -15,6 +15,7 @@
 #include <string>
 
 #include "check/check.hh"
+#include "core/env.hh"
 #include "core/experiment.hh"
 
 namespace {
@@ -99,24 +100,66 @@ main(int argc, char **argv)
 
     // Derived summary: simulation speed of the abstractions relative to
     // the detailed target machine (>1 means faster than target).
-    // Best-of-3 wall times resist scheduling noise.
+    // Best-of-3 wall times resist scheduling noise.  Emitted both as
+    // the human-readable table and as BENCH_table_sim_speed.json in
+    // the shared absim-bench-1 schema (see bench/bench_common.hh), so
+    // the paper's own speed claim joins the BENCH_*.json trajectory
+    // and the bench_compare regression gate.  The value_sum_events
+    // counter is the determinism tripwire: engine event counts are
+    // host-independent, so any drift means simulated behavior changed.
+    const char *json_dir = absim::core::envString("ABSIM_BENCH_JSON_DIR");
+    const std::string json_path =
+        std::string(json_dir != nullptr ? json_dir : ".") +
+        "/BENCH_table_sim_speed.json";
+    std::FILE *json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "bench: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    std::fprintf(json, "{\"schema\":\"absim-bench-1\","
+                       "\"suite\":\"table_sim_speed\",\"benches\":[\n");
+
     std::printf("\n# Simulation speed relative to the target machine "
                 "(wall-clock, best of 3)\n");
     std::printf("%-10s %14s %14s\n", "app", "logp", "logp+c");
-    for (const std::string app : {"fft", "is", "cg", "cholesky", "ep"}) {
+    const std::string apps[] = {"fft", "is", "cg", "cholesky", "ep"};
+    bool first_row = true;
+    for (const std::string &app : apps) {
         double wall[3] = {0, 0, 0};
+        std::uint64_t events[3] = {0, 0, 0};
         int idx = 0;
         for (const MachineKind kind :
              {MachineKind::Target, MachineKind::LogP,
               MachineKind::LogPC}) {
             double best = 1e30;
-            for (int rep = 0; rep < 3; ++rep)
-                best = std::min(best,
-                                runOne(configFor(app, kind)).wallSeconds);
+            for (int rep = 0; rep < 3; ++rep) {
+                const auto profile = runOne(configFor(app, kind));
+                best = std::min(best, profile.wallSeconds);
+                events[idx] = profile.engineEvents;
+            }
             wall[idx++] = best;
         }
         std::printf("%-10s %13.2fx %13.2fx\n", app.c_str(),
                     wall[0] / wall[1], wall[0] / wall[2]);
+
+        const char *variant[2] = {"logp", "logp+c"};
+        for (int v = 0; v < 2; ++v) {
+            const double ratio = wall[0] / wall[1 + v];
+            std::fprintf(
+                json,
+                "%s{\"name\":\"speed_ratio/%s/%s\",\"unit\":\"x\","
+                "\"median\":%.6g,\"higher_is_better\":true,"
+                "\"reps\":[%.6g],\"counters\":{\"value_sum_events\":%llu}}",
+                first_row ? "" : ",\n", app.c_str(), variant[v], ratio,
+                ratio,
+                static_cast<unsigned long long>(events[0] +
+                                                events[1 + v]));
+            first_row = false;
+        }
     }
+    std::fprintf(json, "\n]}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
     return 0;
 }

@@ -54,6 +54,7 @@
 #endif
 
 #if ABSIM_ASAN
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
 #endif
 #if ABSIM_TSAN
@@ -105,6 +106,25 @@ annotateSwitchFinish(void *fake_stack_save, const void **bottom_old,
     (void)fake_stack_save;
     (void)bottom_old;
     (void)size_old;
+#endif
+}
+
+/**
+ * Scrub ASan's shadow for a fiber stack leaving service.
+ *
+ * A stack retains poisoned shadow (frame redzones) from the last fiber
+ * that ran on it; reusing it without scrubbing makes the next fiber's
+ * very first frame write look like a stack-buffer-overflow.  Must be
+ * called before a stack is pooled for reuse.  No-op when ASan is off.
+ */
+inline void
+unpoisonStackMemory(void *bottom, std::size_t size)
+{
+#if ABSIM_ASAN
+    __asan_unpoison_memory_region(bottom, size);
+#else
+    (void)bottom;
+    (void)size;
 #endif
 }
 

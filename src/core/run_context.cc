@@ -33,6 +33,9 @@ RunContext::RunContext()
         injectorScope_.emplace(injector_);
         activeInjector_ = &injector_;
     }
+    stackPool_ = &sim::FiberStackPool::forThisThread();
+    stackAllocBase_ = stackPool_->allocated();
+    stackReuseBase_ = stackPool_->reused();
 }
 
 RunContext::~RunContext()

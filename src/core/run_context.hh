@@ -40,10 +40,12 @@
 #ifndef ABSIM_CORE_RUN_CONTEXT_HH
 #define ABSIM_CORE_RUN_CONTEXT_HH
 
+#include <cstdint>
 #include <optional>
 
 #include "check/check.hh"
 #include "fault/fault.hh"
+#include "sim/fiber.hh"
 #include "sim/trace.hh"
 
 namespace absim::core {
@@ -74,6 +76,26 @@ class RunContext
     /** True when the enclosing thread's armed injector was adopted. */
     bool adoptedAmbientInjector() const { return adopted_; }
 
+    /**
+     * The fiber-stack pool this run's fibers draw from.  The pool is
+     * the executing thread's persistent one (adopted, like an armed
+     * injector, never replaced): stacks recycled by one run are what
+     * the next run of the sweep reuses instead of allocating.
+     */
+    sim::FiberStackPool &fiberStackPool() { return *stackPool_; }
+
+    /** @name Per-run fiber-stack accounting (deltas since construction). */
+    /// @{
+    std::uint64_t fiberStacksAllocated() const
+    {
+        return stackPool_->allocated() - stackAllocBase_;
+    }
+    std::uint64_t fiberStacksReused() const
+    {
+        return stackPool_->reused() - stackReuseBase_;
+    }
+    /// @}
+
   private:
     static check::State inheritCheckState();
     static sim::Trace inheritTrace();
@@ -83,6 +105,10 @@ class RunContext
     fault::Injector injector_;
     fault::Injector *activeInjector_ = nullptr;
     bool adopted_;
+
+    sim::FiberStackPool *stackPool_ = nullptr;
+    std::uint64_t stackAllocBase_ = 0;
+    std::uint64_t stackReuseBase_ = 0;
 
     check::ScopedState checkScope_;
     sim::ScopedTrace traceScope_;

@@ -51,16 +51,20 @@ MsgWorld::send(rt::Proc &p, net::NodeId dst, Tag tag, const void *data,
         ABSIM_CHECK(timing.deliveredAt >= eq_.now(),
                     "message from " << p.node() << " to " << dst
                                     << " would be delivered in the past");
-    eq_.schedule(timing.deliveredAt,
-                 [this, key, delivery = std::move(delivery)]() mutable {
-                     Channel &channel = channels_[key];
-                     channel.ready.push_back(std::move(delivery));
-                     if (channel.waiter != nullptr) {
-                         rt::Proc *waiter = channel.waiter;
-                         channel.waiter = nullptr;
-                         waiter->process()->wake();
-                     }
-                 });
+    auto deliver = [this, key, delivery = std::move(delivery)]() mutable {
+        Channel &channel = channels_[key];
+        channel.ready.push_back(std::move(delivery));
+        if (channel.waiter != nullptr) {
+            rt::Proc *waiter = channel.waiter;
+            channel.waiter = nullptr;
+            waiter->process()->wake();
+        }
+    };
+    // Message delivery is the hot path of every msg-layer run; the
+    // capture must keep fitting the queue's inline event buffer, or
+    // each send regresses to a heap-boxed std::function.
+    static_assert(sizeof(deliver) <= sim::EventQueue::kInlineBytes);
+    eq_.schedule(timing.deliveredAt, std::move(deliver));
 }
 
 std::vector<std::uint8_t>
@@ -78,8 +82,7 @@ MsgWorld::recv(rt::Proc &p, net::NodeId src, Tag tag)
         ABSIM_CHECK(channel.waiter == nullptr,
                     "two receivers blocked on the same channel");
         channel.waiter = &p;
-        p.process()->suspend("msg receive (src=" + std::to_string(src) +
-                             " tag=" + std::to_string(tag) + ")");
+        p.process()->suspend({"msg receive", "src", src, "tag", tag});
         ABSIM_CHECK(!channel.ready.empty(),
                     "receiver woke with no message delivered");
     }

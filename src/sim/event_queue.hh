@@ -2,10 +2,27 @@
  * @file
  * Deterministic discrete-event engine.
  *
- * This is the CSIM substitute at the bottom of the simulator: a priority
- * queue of (tick, sequence, callback) events.  Two events scheduled for the
- * same tick fire in scheduling order, which makes every simulation run
+ * This is the CSIM substitute at the bottom of the simulator: events are
+ * dispatched in (tick, sequence) order, so two events scheduled for the
+ * same tick fire in scheduling order and every simulation run is
  * bit-for-bit reproducible.
+ *
+ * Internally the queue is built for the near-now tick distribution that
+ * process-oriented simulation produces (almost every event lands within
+ * a few microseconds of the clock):
+ *
+ *  - Events live in pooled EventNode slots with a fixed inline buffer
+ *    for the callable (no std::function heap churn on the hot path);
+ *    nodes come from an arena owned by the queue and are recycled onto
+ *    a freelist as they dispatch.
+ *  - A single-tick calendar tier — kBuckets circular one-tick buckets
+ *    tracked by a two-level bitmap — holds the near-now events; each
+ *    bucket is a FIFO list, which *is* (tick, seq) order because a
+ *    bucket covers exactly one tick.
+ *  - A sorted overflow tier (binary min-heap on (tick, seq)) holds
+ *    far-future events; when the calendar drains, the window re-bases
+ *    onto the earliest overflow event and pulls the next window's
+ *    events across.
  *
  * The engine also hosts the run watchdog: a RunBudget bounds events,
  * simulated time, wall-clock time and clock stalls, and every Process
@@ -17,9 +34,13 @@
 #define ABSIM_SIM_EVENT_QUEUE_HH
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -41,22 +62,35 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    EventQueue() = default;
+    EventQueue();
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
     /**
-     * Schedule a callback at absolute time @p when.
+     * Schedule a callable at absolute time @p when.
+     *
+     * Accepts any nullary callable.  Callables up to kInlineBytes are
+     * stored inline in a pooled event node (the zero-allocation hot
+     * path); larger ones fall back to a heap-backed std::function.
      *
      * @param when  Absolute tick; must be >= now().
-     * @param cb    Callback invoked when the clock reaches @p when.
+     * @param fn    Callable invoked when the clock reaches @p when.
      */
-    void schedule(Tick when, Callback cb);
-
-    /** Schedule a callback @p delay ticks from now. */
-    void scheduleAfter(Duration delay, Callback cb)
+    template <typename F>
+    void
+    schedule(Tick when, F &&fn)
     {
-        schedule(now_ + delay, std::move(cb));
+        checkSchedule(when);
+        emplace(when, std::forward<F>(fn));
+    }
+
+    /** Schedule a callable @p delay ticks from now. */
+    template <typename F>
+    void
+    scheduleAfter(Duration delay, F &&fn)
+    {
+        schedule(now_ + delay, std::forward<F>(fn));
     }
 
     /**
@@ -80,7 +114,7 @@ class EventQueue
     Tick nextEventTime() const;
 
     /** Number of pending events. */
-    std::size_t pending() const { return queue_.size(); }
+    std::size_t pending() const { return size_; }
 
     /** Total number of events dispatched so far (simulation-cost metric). */
     std::uint64_t dispatched() const { return dispatched_; }
@@ -93,13 +127,6 @@ class EventQueue
     void setBudget(const RunBudget &budget);
 
     const RunBudget &budget() const { return budget_; }
-
-    /**
-     * Legacy runaway guard: equivalent to a budget with only maxEvents
-     * set.  The violation surfaces as a structured BudgetExceededError
-     * (which derives from std::runtime_error).  0 disables.
-     */
-    void setEventCap(std::uint64_t cap) { budget_.maxEvents = cap; }
 
     /**
      * Stop dispatching at the next event boundary; run()/runUntil()
@@ -129,24 +156,127 @@ class EventQueue
      */
     std::vector<BlockedProcessInfo> blockedProcesses() const;
 
+    /** Inline callable capacity of a pooled event node. */
+    static constexpr std::size_t kInlineBytes = 64;
+
   private:
-    struct Event
+    /** Calendar width: one-tick buckets spanning a kBuckets-tick
+     *  window.  Power of two so the bucket index is a mask. */
+    static constexpr std::size_t kBuckets = 4096;
+    static constexpr std::size_t kBucketWords = kBuckets / 64;
+    static constexpr std::size_t kNodesPerBlock = 256;
+
+    /**
+     * One pooled event: intrusive FIFO link + type-erased callable in
+     * a fixed inline buffer.  invoke/destroy are plain function
+     * pointers (no std::function dispatch on the hot path).
+     */
+    struct EventNode
     {
-        Tick when;
-        std::uint64_t seq;
-        Callback cb;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        EventNode *next = nullptr;
+        void (*invoke)(void *) = nullptr;
+        void (*destroy)(void *) = nullptr; ///< Null: trivially destructible.
+        alignas(std::max_align_t) unsigned char storage[kInlineBytes];
     };
 
-    struct Later
+    /** A one-tick calendar bucket: FIFO list == (tick, seq) order. */
+    struct Bucket
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        EventNode *head = nullptr;
+        EventNode *tail = nullptr;
     };
+
+    template <typename D>
+    static void
+    invokeAs(void *p)
+    {
+        (*static_cast<D *>(p))();
+    }
+
+    template <typename D>
+    static void
+    destroyAs(void *p)
+    {
+        static_cast<D *>(p)->~D();
+    }
+
+    /** Causality validation half of schedule() (out of line: needs the
+     *  check machinery, which this header must not drag in). */
+    void checkSchedule(Tick when) const;
+
+    /** Construct the callable into a pooled node and enqueue it. */
+    template <typename F>
+    void
+    emplace(Tick when, F &&fn)
+    {
+        using D = std::decay_t<F>;
+        EventNode *node = acquireNode();
+        if constexpr (sizeof(D) <= kInlineBytes &&
+                      alignof(D) <= alignof(std::max_align_t)) {
+            try {
+                ::new (static_cast<void *>(node->storage))
+                    D(std::forward<F>(fn));
+            } catch (...) {
+                releaseNode(node);
+                throw;
+            }
+            node->invoke = &invokeAs<D>;
+            node->destroy = std::is_trivially_destructible_v<D>
+                                ? nullptr
+                                : &destroyAs<D>;
+        } else {
+            // Oversized capture: box it in a std::function (heap), the
+            // exact cost every schedule used to pay.
+            static_assert(sizeof(Callback) <= kInlineBytes);
+            try {
+                ::new (static_cast<void *>(node->storage))
+                    Callback(std::forward<F>(fn));
+            } catch (...) {
+                releaseNode(node);
+                throw;
+            }
+            node->invoke = &invokeAs<Callback>;
+            node->destroy = &destroyAs<Callback>;
+        }
+        node->when = when;
+        node->seq = nextSeq_++;
+        enqueueNode(node);
+    }
+
+    EventNode *acquireNode();
+    void releaseNode(EventNode *node); ///< Callable already destroyed.
+    void destroyNode(EventNode *node); ///< Destroy callable + release.
+
+    /** Route a filled node into the calendar or the overflow tier. */
+    void enqueueNode(EventNode *node);
+    void pushBucket(EventNode *node);
+    void pushOverflow(EventNode *node);
+    EventNode *popOverflowTop();
+
+    /**
+     * Re-base the calendar window onto the earliest overflow event and
+     * pull everything inside the new window across.  Precondition: the
+     * calendar tier is empty and the overflow tier is not.
+     */
+    void advanceWindow();
+
+    /** Earliest bucketed node, or nullptr if the calendar is empty. */
+    EventNode *calendarFront() const;
+
+    /**
+     * Detach and return the earliest pending event ((when, seq) order
+     * across both tiers), re-basing the window as needed.  Returns
+     * nullptr when the queue is empty.
+     */
+    EventNode *popNext();
+
+    /** The (when, seq) of the earliest pending event without popping. */
+    const EventNode *peekNext() const;
+
+    /** Dispatch @p node: advance the clock, invoke, recycle. */
+    void dispatch(EventNode *node);
 
     /** Throw if the budget (events / wall clock / stall) has tripped. */
     void enforceBudget();
@@ -154,10 +284,34 @@ class EventQueue
     /** One link of the StallQueue fault-injection chain. */
     void stallStep();
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    /** @name Two-level occupancy bitmap over the calendar buckets. */
+    /// @{
+    void markBucket(std::size_t idx);
+    void clearBucket(std::size_t idx);
+    /** First occupied bucket in circular order from @p start. */
+    std::size_t firstBucketFrom(std::size_t start) const;
+    /// @}
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t dispatched_ = 0;
+    std::size_t size_ = 0;
+
+    /** Calendar tier: buckets cover [windowBase_, windowLimit_). */
+    std::unique_ptr<Bucket[]> buckets_;
+    std::uint64_t summary_ = 0; ///< Which bitmap words are non-zero.
+    std::unique_ptr<std::uint64_t[]> words_;
+    Tick windowBase_ = 0;
+    Tick windowLimit_ = kBuckets;
+    std::size_t calendarCount_ = 0;
+
+    /** Overflow tier: (when, seq) min-heap of far-future (and, with
+     *  causality checks off, past) events. */
+    std::vector<EventNode *> overflow_;
+
+    /** Node pool: arena blocks + freelist threaded through next. */
+    std::vector<std::unique_ptr<EventNode[]>> blocks_;
+    EventNode *freeList_ = nullptr;
 
     RunBudget budget_;
     bool stopRequested_ = false;

@@ -7,16 +7,57 @@
 #include "check/check.hh"
 #include "check/sanitizer.hh"
 
+#if defined(__x86_64__)
+
+extern "C" void absimFiberSwitch(void **save_sp, void *restore_sp);
+
+// System V x86-64 cooperative context switch: save the callee-saved
+// GPRs and the SSE/x87 control words (everything a function call must
+// preserve), publish the old stack pointer, adopt the peer's, restore,
+// and return onto the peer's stack.  This replaces swapcontext(),
+// whose two mandatory sigprocmask() system calls per switch dominated
+// fiber cost; the simulator never changes signal masks per fiber, so
+// nothing is lost.  Exceptions never unwind across a switch (worker
+// exceptions are caught on the fiber's own stack and rethrown on the
+// scheduler's), so the missing CFI here is unreachable by design.
+asm(R"(
+        .text
+        .align  16
+        .globl  absimFiberSwitch
+        .type   absimFiberSwitch, @function
+absimFiberSwitch:
+        pushq   %rbp
+        pushq   %rbx
+        pushq   %r12
+        pushq   %r13
+        pushq   %r14
+        pushq   %r15
+        subq    $16, %rsp
+        stmxcsr (%rsp)
+        fnstcw  4(%rsp)
+        movq    %rsp, (%rdi)
+        movq    %rsi, %rsp
+        ldmxcsr (%rsp)
+        fldcw   4(%rsp)
+        addq    $16, %rsp
+        popq    %r15
+        popq    %r14
+        popq    %r13
+        popq    %r12
+        popq    %rbx
+        popq    %rbp
+        retq
+        .size   absimFiberSwitch, .-absimFiberSwitch
+)");
+
+#endif // __x86_64__
+
 namespace absim::sim {
 
 namespace {
 
 /// The fiber currently executing on this thread (nullptr = scheduler).
 thread_local Fiber *tl_current = nullptr;
-
-/// Recycled default-sized stacks (bounded).
-thread_local std::vector<std::unique_ptr<unsigned char[]>> tl_stack_pool;
-constexpr std::size_t kMaxPooledStacks = 128;
 
 /**
  * Canary word written at the overflow end (lowest addresses) of every
@@ -28,31 +69,41 @@ constexpr std::uint64_t kStackCanary = 0xF1BE25AFE57AC000ull;
 
 } // namespace
 
-std::unique_ptr<unsigned char[]>
-Fiber::acquireStack(std::size_t bytes)
+FiberStackPool &
+FiberStackPool::forThisThread()
 {
-    if (bytes == kDefaultStackBytes && !tl_stack_pool.empty()) {
-        auto stack = std::move(tl_stack_pool.back());
-        tl_stack_pool.pop_back();
+    thread_local FiberStackPool pool;
+    return pool;
+}
+
+std::unique_ptr<unsigned char[]>
+FiberStackPool::acquire(std::size_t bytes)
+{
+    if (bytes == kPooledStackBytes && !pool_.empty()) {
+        ++reused_;
+        auto stack = std::move(pool_.back());
+        pool_.pop_back();
         return stack;
     }
+    ++allocated_;
     // new[] of char leaves the memory uninitialized; a fiber stack needs
     // no zeroing.
     return std::unique_ptr<unsigned char[]>(new unsigned char[bytes]);
 }
 
 void
-Fiber::recycleStack(std::unique_ptr<unsigned char[]> stack,
-                    std::size_t bytes)
+FiberStackPool::recycle(std::unique_ptr<unsigned char[]> stack,
+                        std::size_t bytes)
 {
-    if (bytes == kDefaultStackBytes &&
-        tl_stack_pool.size() < kMaxPooledStacks)
-        tl_stack_pool.push_back(std::move(stack));
+    if (bytes == kPooledStackBytes && pool_.size() < kMaxPooled) {
+        check::unpoisonStackMemory(stack.get(), bytes);
+        pool_.push_back(std::move(stack));
+    }
 }
 
 Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
     : entry_(std::move(entry)), stackBytes_(stack_bytes),
-      stack_(acquireStack(stack_bytes))
+      stack_(FiberStackPool::forThisThread().acquire(stack_bytes))
 {
     ABSIM_CHECK(entry_ != nullptr, "fiber needs an entry function");
     ABSIM_CHECK(stackBytes_ > sizeof(kStackCanary),
@@ -66,7 +117,8 @@ Fiber::~Fiber()
     // A fiber destroyed mid-flight simply abandons its execution state;
     // its stack memory is still recyclable.
     check::tsanDestroyFiber(tsanFiber_);
-    recycleStack(std::move(stack_), stackBytes_);
+    FiberStackPool::forThisThread().recycle(std::move(stack_),
+                                            stackBytes_);
 }
 
 void
@@ -88,6 +140,61 @@ Fiber::corruptStackCanaryForTest()
 }
 
 void
+Fiber::initContext()
+{
+#if defined(__x86_64__)
+    // Build the frame absimFiberSwitch restores from, so the first
+    // switch in "returns" into trampoline() on this stack.  Matching
+    // the switch's save layout, from the top down: a null fake return
+    // address (trampoline never returns), the entry address the final
+    // retq pops, six zeroed callee-saved slots, and a 16-byte control
+    // area holding the power-on MXCSR/x87 control words.
+    const auto top =
+        reinterpret_cast<std::uintptr_t>(stack_.get() + stackBytes_) &
+        ~std::uintptr_t{15};
+    auto *sp = reinterpret_cast<std::uint64_t *>(top);
+    *--sp = 0;
+    *--sp = reinterpret_cast<std::uint64_t>(&Fiber::trampoline);
+    for (int i = 0; i < 6; ++i)
+        *--sp = 0; // rbp, rbx, r12-r15
+    *--sp = 0;
+    *--sp = 0;
+    const std::uint32_t mxcsr = 0x1f80;
+    const std::uint16_t fcw = 0x037f;
+    std::memcpy(sp, &mxcsr, sizeof(mxcsr));
+    std::memcpy(reinterpret_cast<unsigned char *>(sp) + 4, &fcw,
+                sizeof(fcw));
+    fiberSp_ = sp;
+#else
+    getcontext(&context_);
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stackBytes_;
+    context_.uc_link = &returnContext_;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 0);
+#endif
+}
+
+void
+Fiber::switchToFiber()
+{
+#if defined(__x86_64__)
+    absimFiberSwitch(&schedulerSp_, fiberSp_);
+#else
+    swapcontext(&returnContext_, &context_);
+#endif
+}
+
+void
+Fiber::switchToScheduler()
+{
+#if defined(__x86_64__)
+    absimFiberSwitch(&fiberSp_, schedulerSp_);
+#else
+    swapcontext(&context_, &returnContext_);
+#endif
+}
+
+void
 Fiber::trampoline()
 {
     Fiber *self = tl_current;
@@ -98,14 +205,13 @@ Fiber::trampoline()
                                 &self->switchFromSize_);
     self->entry_();
     self->finished_ = true;
-    // Return to the resumer; uc_link is set up to do this, but swapping
-    // explicitly keeps tl_current coherent.  The nullptr handle tells
-    // ASan this stack is abandoned for good.
+    // Return to the resumer for good.  The nullptr handle tells ASan
+    // this stack is abandoned.
     tl_current = nullptr;
     check::annotateSwitchStart(nullptr, self->switchFromBottom_,
                                self->switchFromSize_);
     check::tsanSwitchFiber(self->tsanReturnFiber_);
-    swapcontext(&self->context_, &self->returnContext_);
+    self->switchToScheduler();
     // Never reached.
     std::abort();
 }
@@ -119,11 +225,7 @@ Fiber::resume()
 
     if (!started_) {
         started_ = true;
-        getcontext(&context_);
-        context_.uc_stack.ss_sp = stack_.get();
-        context_.uc_stack.ss_size = stackBytes_;
-        context_.uc_link = &returnContext_;
-        makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 0);
+        initContext();
         tsanFiber_ = check::tsanCreateFiber();
     }
     tl_current = this;
@@ -131,7 +233,7 @@ Fiber::resume()
     void *fake_stack = nullptr;
     check::annotateSwitchStart(&fake_stack, stack_.get(), stackBytes_);
     check::tsanSwitchFiber(tsanFiber_);
-    swapcontext(&returnContext_, &context_);
+    switchToFiber();
     check::annotateSwitchFinish(fake_stack, nullptr, nullptr);
     // Back in the scheduler: either the fiber yielded (tl_current reset in
     // yield()) or it finished (reset in trampoline()).
@@ -151,7 +253,7 @@ Fiber::yield()
     check::annotateSwitchStart(&fake_stack, self->switchFromBottom_,
                                self->switchFromSize_);
     check::tsanSwitchFiber(self->tsanReturnFiber_);
-    swapcontext(&self->context_, &self->returnContext_);
+    self->switchToScheduler();
     check::annotateSwitchFinish(fake_stack, &self->switchFromBottom_,
                                 &self->switchFromSize_);
     // Resumed again.

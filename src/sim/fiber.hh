@@ -1,6 +1,6 @@
 /**
  * @file
- * Minimal cooperative fibers built on POSIX ucontext.
+ * Minimal cooperative fibers.
  *
  * Each simulated process runs on its own fiber so that application code can
  * make *blocking* calls into the memory system and network (the CSIM
@@ -8,19 +8,75 @@
  * only ever switch to/from the scheduler fiber owned by the engine, never
  * directly between each other; this keeps the switching discipline trivial
  * to reason about.
+ *
+ * On x86-64 the switch is a hand-rolled save/restore of the callee-saved
+ * register set (see absimFiberSwitch in fiber.cc): swapcontext() makes two
+ * sigprocmask() system calls per switch, which dominated the cost of the
+ * millions of switches a detailed-machine sweep performs.  Other
+ * architectures keep the portable ucontext path.
  */
 
 #ifndef ABSIM_SIM_FIBER_HH
 #define ABSIM_SIM_FIBER_HH
 
+#if !defined(__x86_64__)
 #include <ucontext.h>
+#endif
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
 namespace absim::sim {
+
+/**
+ * A bounded pool of recycled fiber stacks with reuse accounting.
+ *
+ * Simulations spawn thousands of short-lived helper processes (e.g.
+ * parallel invalidations), and repeated runs in a sweep each spawn a
+ * full machine's worth of workers; allocating + faulting a fresh stack
+ * every time dominates simulation cost.  The pool lives per thread and
+ * deliberately *outlives* individual runs — persistence across the
+ * runs of a sweep is what turns stack allocation into reuse (see
+ * core::RunContext, which snapshots the counters per run).
+ *
+ * Only default-sized stacks are pooled; odd sizes are one-offs.
+ */
+class FiberStackPool
+{
+  public:
+    /** Only stacks of exactly this size are pooled (the Fiber default). */
+    static constexpr std::size_t kPooledStackBytes = 512 * 1024;
+
+    /** Upper bound on retained stacks (64 MiB of 512 KiB stacks). */
+    static constexpr std::size_t kMaxPooled = 128;
+
+    /** The executing thread's persistent pool. */
+    static FiberStackPool &forThisThread();
+
+    /** A recycled stack when one fits, else a fresh allocation. */
+    std::unique_ptr<unsigned char[]> acquire(std::size_t bytes);
+
+    /** Return a stack; kept only if pool-sized and under the cap. */
+    void recycle(std::unique_ptr<unsigned char[]> stack,
+                 std::size_t bytes);
+
+    /** @name Lifetime counters (monotone; snapshot to get per-run deltas). */
+    /// @{
+    std::uint64_t allocated() const { return allocated_; }
+    std::uint64_t reused() const { return reused_; }
+    /// @}
+
+    /** Stacks currently held for reuse. */
+    std::size_t pooled() const { return pool_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<unsigned char[]>> pool_;
+    std::uint64_t allocated_ = 0;
+    std::uint64_t reused_ = 0;
+};
 
 /**
  * A single cooperative fiber with its own stack.
@@ -34,7 +90,8 @@ class Fiber
 {
   public:
     /** Default stack size: generous, since application code runs here. */
-    static constexpr std::size_t kDefaultStackBytes = 512 * 1024;
+    static constexpr std::size_t kDefaultStackBytes =
+        FiberStackPool::kPooledStackBytes;
 
     explicit Fiber(std::function<void()> entry,
                    std::size_t stack_bytes = kDefaultStackBytes);
@@ -74,22 +131,29 @@ class Fiber
     /** Verify the canary word at the overflow end of the stack. */
     void checkCanary() const;
 
-    /**
-     * Fiber stacks are recycled through a thread-local pool: simulations
-     * spawn thousands of short-lived helper processes (e.g. parallel
-     * invalidations) and allocating + faulting a fresh stack each time
-     * dominates the simulation cost otherwise.  Only default-sized
-     * stacks are pooled.
-     */
-    static std::unique_ptr<unsigned char[]> acquireStack(std::size_t bytes);
-    static void recycleStack(std::unique_ptr<unsigned char[]> stack,
-                             std::size_t bytes);
+    /** Prepare the suspended context for the first switch in. */
+    void initContext();
+
+    /** Scheduler side of the switch: save here, enter the fiber. */
+    void switchToFiber();
+
+    /** Fiber side of the switch: save here, reenter the scheduler. */
+    void switchToScheduler();
 
     std::function<void()> entry_;
     std::size_t stackBytes_;
     std::unique_ptr<unsigned char[]> stack_;
+#if defined(__x86_64__)
+    /**
+     * With the raw switch, all callee-saved state lives on the owning
+     * stack; a suspended context is nothing but its stack pointer.
+     */
+    void *fiberSp_ = nullptr;     ///< Fiber's sp while suspended.
+    void *schedulerSp_ = nullptr; ///< Scheduler's sp while fiber runs.
+#else
     ucontext_t context_;
     ucontext_t returnContext_;
+#endif
     bool started_ = false;
     bool finished_ = false;
 

@@ -13,6 +13,26 @@ thread_local Process *tl_current_process = nullptr;
 } // namespace
 
 std::string
+WaitReason::str() const
+{
+    std::string out = what_;
+    if (key0_ != nullptr) {
+        out += " (";
+        out += key0_;
+        out += '=';
+        out += std::to_string(value0_);
+        if (key1_ != nullptr) {
+            out += ' ';
+            out += key1_;
+            out += '=';
+            out += std::to_string(value1_);
+        }
+        out += ')';
+    }
+    return out;
+}
+
+std::string
 toString(ProcState state)
 {
     switch (state) {
@@ -92,17 +112,17 @@ Process::delayUntil(Tick when)
 }
 
 void
-Process::suspend(std::string reason)
+Process::suspend(WaitReason reason)
 {
     ABSIM_CHECK(current() == this,
                 "suspend from outside process \"" << name_ << "\"");
     suspended_ = true;
     state_ = ProcState::Suspended;
-    waitReason_ = std::move(reason);
+    waitReason_ = reason;
     tl_current_process = nullptr;
     Fiber::yield();
     tl_current_process = this;
-    waitReason_.clear();
+    waitReason_ = WaitReason{};
     ABSIM_DCHECK(!suspended_, "woken process still marked suspended");
 }
 

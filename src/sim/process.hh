@@ -39,6 +39,54 @@ enum class ProcState : std::uint8_t
 std::string toString(ProcState state);
 
 /**
+ * What a suspended process waits on, formatted lazily.
+ *
+ * Suspends are the hottest blocking path in the simulator (every mutex
+ * acquire, latch await and message receive goes through one), but the
+ * reason text is only ever read by the watchdog's blocked-process dump
+ * when a run wedges.  So the reason is carried as a string literal
+ * plus up to two named numeric arguments, and the string is built only
+ * in str() — a suspend never allocates for diagnostics it will almost
+ * never print.
+ */
+class WaitReason
+{
+  public:
+    constexpr WaitReason() = default;
+
+    /** Plain reason: str() is @p what verbatim. */
+    constexpr WaitReason(const char *what) : what_(what) {}
+
+    /** One argument: str() is "what (key=value)". */
+    constexpr WaitReason(const char *what, const char *key,
+                         std::uint64_t value)
+        : what_(what), key0_(key), value0_(value)
+    {
+    }
+
+    /** Two arguments: str() is "what (key0=value0 key1=value1)". */
+    constexpr WaitReason(const char *what, const char *key0,
+                         std::uint64_t value0, const char *key1,
+                         std::uint64_t value1)
+        : what_(what), key0_(key0), value0_(value0), key1_(key1),
+          value1_(value1)
+    {
+    }
+
+    bool empty() const { return what_[0] == '\0'; }
+
+    /** Render the reason (the only place that allocates). */
+    std::string str() const;
+
+  private:
+    const char *what_ = "";
+    const char *key0_ = nullptr;
+    std::uint64_t value0_ = 0;
+    const char *key1_ = nullptr;
+    std::uint64_t value1_ = 0;
+};
+
+/**
  * A simulated process.
  *
  * The entry function runs on a private fiber.  Inside it, the process may
@@ -81,7 +129,7 @@ class Process
      *                acquire"); surfaced by the deadlock watchdog's
      *                blocked-process dump.
      */
-    void suspend(std::string reason = "");
+    void suspend(WaitReason reason = {});
 
     /**
      * Wake a suspended process; it resumes at the current engine time.
@@ -112,7 +160,7 @@ class Process
     ProcState state() const { return state_; }
 
     /** What the process waits on while Suspended ("" if unset). */
-    const std::string &waitReason() const { return waitReason_; }
+    std::string waitReason() const { return waitReason_.str(); }
 
     /** Wake-up tick while Delayed. */
     Tick delayedUntil() const { return delayedUntil_; }
@@ -126,7 +174,7 @@ class Process
     Fiber fiber_;
     bool suspended_ = false;
     ProcState state_ = ProcState::Created;
-    std::string waitReason_;
+    WaitReason waitReason_;
     Tick delayedUntil_ = 0;
     std::function<void(Process *)> onFinish_;
 };

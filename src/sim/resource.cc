@@ -1,7 +1,5 @@
 #include "sim/resource.hh"
 
-#include <string>
-
 #include "check/check.hh"
 
 namespace absim::sim {
@@ -77,7 +75,7 @@ Latch::await()
     if (count_ == 0)
         return;
     waiter_ = self;
-    self->suspend("latch await (count=" + std::to_string(count_) + ")");
+    self->suspend({"latch await", "count", count_});
 }
 
 } // namespace absim::sim

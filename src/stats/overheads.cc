@@ -113,6 +113,9 @@ operator<<(std::ostream &os, const Profile &p)
        << "cache hits     " << p.machine.cacheHits << "\n"
        << "net accesses   " << p.machine.networkAccesses << "\n"
        << "engine events  " << p.engineEvents << "\n";
+    if (p.wallSeconds > 0.0)
+        os << "engine speed   " << p.eventsPerWallSecond() / 1e6
+           << " Mev/s (" << p.wallSeconds << " s host)\n";
     for (std::size_t i = 0; i < p.procs.size(); ++i) {
         const ProcStats &ps = p.procs[i];
         os << "  proc " << i << ": busy " << ps.busy / 1000.0

@@ -110,6 +110,19 @@ struct Profile
     std::uint64_t engineEvents = 0; ///< Simulation-cost metric.
     double wallSeconds = 0.0;       ///< Host time for the simulation.
 
+    /**
+     * Kernel throughput: engine events dispatched per host wall
+     * second, or 0 when the run carried no wall-time measurement.
+     * Host-dependent — a health indicator, never a simulation result.
+     */
+    double
+    eventsPerWallSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(engineEvents) / wallSeconds
+                   : 0.0;
+    }
+
     /** Per-axis attribution of the run's memory-system time. */
     AxisSplit axisSplit() const;
 

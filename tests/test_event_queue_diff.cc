@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Differential test of the calendar-queue EventQueue against a
+ * reference std::priority_queue model.
+ *
+ * The production queue is a two-tier calendar/overflow structure with
+ * pooled nodes (see sim/event_queue.hh); the reference model is the
+ * textbook binary heap ordered by (tick, seq) that the queue replaced.
+ * Both execute the same self-expanding workload — every dispatched
+ * event derives its children (count and tick deltas) purely from its
+ * own id via a seeded Rng, so the workload is identical across
+ * implementations *if and only if* they dispatch in the same order.
+ * Any divergence (bucket-window bug, overflow re-base bug, FIFO-tie
+ * break) desynchronizes the logs at the first wrong event.
+ */
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using absim::sim::EventQueue;
+using absim::sim::Rng;
+using absim::sim::Tick;
+
+/// One dispatched event in an execution log: (tick, event id).
+using LogEntry = std::pair<Tick, std::uint64_t>;
+
+/**
+ * Children of event @p id: 0-2 events with mixed tick deltas chosen to
+ * cover every queue tier — same-tick ties (delta 0), near-now buckets,
+ * deltas straddling the 4096-tick calendar window, and far-future
+ * overflow events.  Depends only on (seed, id).
+ */
+std::vector<Tick>
+childDeltas(std::uint64_t seed, std::uint64_t id)
+{
+    Rng rng(seed ^ (id * 0x9e3779b97f4a7c15ULL));
+    const std::uint64_t count = rng.below(3); // Avg 1: stable frontier.
+    std::vector<Tick> deltas;
+    deltas.reserve(count);
+    for (std::uint64_t c = 0; c < count; ++c) {
+        const std::uint64_t shape = rng.below(100);
+        Tick delta = 0;
+        if (shape < 40)
+            delta = rng.below(8); // Includes exact same-tick ties.
+        else if (shape < 75)
+            delta = rng.below(512);
+        else if (shape < 95)
+            delta = rng.below(8192); // Straddles the calendar window.
+        else
+            delta = rng.below(1'000'000); // Overflow tier.
+        deltas.push_back(delta);
+    }
+    return deltas;
+}
+
+/** The production queue driving the self-expanding workload. */
+struct RealRun
+{
+    std::uint64_t seed;
+    std::uint64_t maxEvents;
+    /** After this many dispatches, the dispatching callback calls
+     *  requestStop() — a faithful mid-run stop.  0: never. */
+    std::uint64_t stopAfter = 0;
+
+    EventQueue eq;
+    std::vector<LogEntry> log;
+    std::uint64_t nextId = 0;
+
+    void
+    spawn(Tick when)
+    {
+        const std::uint64_t id = nextId++;
+        eq.schedule(when, [this, id] { onDispatch(id); });
+    }
+
+    void
+    onDispatch(std::uint64_t id)
+    {
+        log.emplace_back(eq.now(), id);
+        for (const Tick delta : childDeltas(seed, id))
+            if (nextId < maxEvents)
+                spawn(eq.now() + delta);
+        if (stopAfter != 0 && log.size() == stopAfter)
+            eq.requestStop();
+    }
+
+    void
+    seedRoots(std::uint64_t roots)
+    {
+        Rng rng(seed);
+        for (std::uint64_t r = 0; r < roots; ++r)
+            spawn(rng.below(1024));
+    }
+};
+
+/** The reference model: a (tick, seq)-ordered binary heap. */
+struct RefRun
+{
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint64_t id;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.when > b.when ||
+                   (a.when == b.when && a.seq > b.seq);
+        }
+    };
+
+    std::uint64_t seed;
+    std::uint64_t maxEvents;
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    std::vector<LogEntry> log;
+    std::uint64_t nextId = 0;
+    std::uint64_t nextSeq = 0;
+    Tick now = 0;
+
+    void
+    spawn(Tick when)
+    {
+        queue.push(Event{when, nextSeq++, nextId++});
+    }
+
+    void
+    seedRoots(std::uint64_t roots)
+    {
+        Rng rng(seed);
+        for (std::uint64_t r = 0; r < roots; ++r)
+            spawn(rng.below(1024));
+    }
+
+    /** Pop + expand one event; mirrors one EventQueue dispatch. */
+    void
+    step()
+    {
+        const Event ev = queue.top();
+        queue.pop();
+        now = ev.when;
+        log.emplace_back(ev.when, ev.id);
+        for (const Tick delta : childDeltas(seed, ev.id))
+            if (nextId < maxEvents)
+                spawn(now + delta);
+    }
+
+    void
+    run()
+    {
+        while (!queue.empty())
+            step();
+    }
+};
+
+void
+expectSameLogs(const std::vector<LogEntry> &real,
+               const std::vector<LogEntry> &ref)
+{
+    ASSERT_EQ(real.size(), ref.size());
+    for (std::size_t i = 0; i < real.size(); ++i) {
+        ASSERT_EQ(real[i].first, ref[i].first)
+            << "dispatch " << i << " fired at the wrong tick";
+        ASSERT_EQ(real[i].second, ref[i].second)
+            << "dispatch " << i << " fired the wrong event";
+    }
+}
+
+TEST(EventQueueDiff, MatchesReferenceHeapOnMixedWorkload)
+{
+    constexpr std::uint64_t kEvents = 1'000'000;
+    constexpr std::uint64_t kRoots = 4096;
+    constexpr std::uint64_t kSeed = 0xD1FF;
+
+    RealRun real{kSeed, kEvents};
+    real.seedRoots(kRoots);
+    real.eq.run();
+
+    RefRun ref{kSeed, kEvents};
+    ref.seedRoots(kRoots);
+    ref.run();
+
+    EXPECT_EQ(real.log.size(), kEvents);
+    expectSameLogs(real.log, ref.log);
+    EXPECT_EQ(real.eq.pending(), 0u);
+    EXPECT_EQ(real.eq.dispatched(), ref.log.size());
+}
+
+TEST(EventQueueDiff, SameTickBurstsKeepFifoOrder)
+{
+    // Heavy same-tick contention: ~20k events over 16k ticks, so FIFO
+    // ties are resolved in buckets, in the overflow heap, and across
+    // the window re-base refill.
+    EventQueue eq;
+    std::vector<std::uint64_t> order;
+    std::uint64_t id = 0;
+    Rng rng(42);
+    for (int round = 0; round < 20'000; ++round) {
+        eq.schedule(rng.below(16'384),
+                    [&order, my = id] { order.push_back(my); });
+        ++id;
+    }
+    eq.run();
+
+    // Reference: pop ids in (when, insertion) order from the heap.
+    std::vector<std::uint64_t> expect;
+    {
+        RefRun ref{0, 0};
+        Rng rng2(42);
+        for (int round = 0; round < 20'000; ++round)
+            ref.spawn(rng2.below(16'384));
+        while (!ref.queue.empty()) {
+            expect.push_back(ref.queue.top().id);
+            ref.queue.pop();
+        }
+    }
+    ASSERT_EQ(order.size(), expect.size());
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueueDiff, RequestStopMidRunAgreesWithReference)
+{
+    constexpr std::uint64_t kEvents = 200'000;
+    constexpr std::uint64_t kStopAfter = 60'000;
+    constexpr std::uint64_t kSeed = 0x57CF;
+
+    RealRun real{kSeed, kEvents, kStopAfter};
+    real.seedRoots(1024);
+    real.eq.run();
+    const std::size_t pending_at_stop = real.eq.pending();
+    real.eq.run(); // Sticky: dispatches nothing further.
+
+    RefRun ref{kSeed, kEvents};
+    ref.seedRoots(1024);
+    while (ref.log.size() < kStopAfter && !ref.queue.empty())
+        ref.step();
+
+    ASSERT_EQ(real.log.size(), kStopAfter);
+    expectSameLogs(real.log, ref.log);
+    EXPECT_TRUE(real.eq.stopRequested());
+    EXPECT_EQ(real.eq.pending(), pending_at_stop);
+    EXPECT_EQ(real.eq.pending(), ref.queue.size());
+    EXPECT_EQ(real.eq.dispatched(), kStopAfter);
+}
+
+TEST(EventQueueDiff, RunUntilWindowsMatchReference)
+{
+    constexpr std::uint64_t kEvents = 100'000;
+    constexpr std::uint64_t kSeed = 0xFACE;
+
+    RealRun real{kSeed, kEvents};
+    RefRun ref{kSeed, kEvents};
+    real.seedRoots(1024);
+    ref.seedRoots(1024);
+
+    constexpr Tick kStep = 1000;
+    Tick limit = kStep;
+    bool drained = false;
+    while (!drained) {
+        drained = real.eq.runUntil(limit);
+        while (!ref.queue.empty() && ref.queue.top().when <= limit)
+            ref.step();
+
+        // Cross-check queue introspection at every window boundary.
+        ASSERT_EQ(real.eq.pending(), ref.queue.size());
+        if (!ref.queue.empty())
+            ASSERT_EQ(real.eq.nextEventTime(), ref.queue.top().when);
+        limit += kStep;
+    }
+    EXPECT_TRUE(ref.queue.empty());
+    expectSameLogs(real.log, ref.log);
+}
+
+} // namespace

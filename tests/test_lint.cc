@@ -122,6 +122,22 @@ TEST(LintRules, D1AllowlistCoversTheWatchdogBudgetFiles)
     EXPECT_EQ(lintAt("src/sim/other.hh", source).size(), 1u);
 }
 
+TEST(LintRules, D1AllowlistRecordsTheSanctionedBenchTimer)
+{
+    // bench/ is outside D1's src/-only scope, so this entry is
+    // documentary — but it must exist (with a rationale) so the
+    // sanction survives any future widening of the rule's scope.
+    bool found = false;
+    for (const auto &entry : absim_lint::allowlist()) {
+        if (std::string(entry.rule) == "D1" &&
+            std::string(entry.file) == "bench/bench_common.hh") {
+            found = true;
+            EXPECT_FALSE(std::string(entry.reason).empty());
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
 TEST(LintRules, D1IgnoresMembersAndStrings)
 {
     EXPECT_TRUE(lintAt("src/apps/x.cc",

@@ -116,7 +116,9 @@ TEST(SharedArray, SignedElementAndNarrowTypes)
 TEST(EventCap, ThrowsOnRunaway)
 {
     sim::EventQueue eq;
-    eq.setEventCap(10);
+    sim::RunBudget budget;
+    budget.maxEvents = 10;
+    eq.setBudget(budget);
     std::function<void()> reschedule = [&] {
         eq.scheduleAfter(1, reschedule); // Self-perpetuating event chain.
     };
