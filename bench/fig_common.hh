@@ -36,6 +36,14 @@
  *                       stems with .shard<K>of<N> and its journal is
  *                       merged back with the journal_merge tool — see
  *                       docs/PARALLELISM.md.
+ *   ABSIM_REPLAY        1 = run every point in trace-replay mode with
+ *                       record-on-miss (first sweep executes and
+ *                       records; later sweeps replay the stored traces
+ *                       through the figure's machines).  The --replay
+ *                       flag is equivalent; --record forces
+ *                       execute-and-record.  See docs/TRACING.md.
+ *   ABSIM_TRACE_DIR     trace store for replay/record mode (default
+ *                       "traces"); --trace-dir overrides.
  *
  * Exit status: 0 on a complete figure, 3 if any point failed, 2 on a
  * bad command line or environment value.
@@ -57,17 +65,23 @@ namespace absim::bench {
 
 namespace detail {
 
-/** Shared flag scanner: --jobs/-j and (optionally) --shard.  Returns
- *  false after printing usage on an unknown flag or malformed value. */
+/** Shared flag scanner: --jobs/-j, (optionally) --shard, and
+ *  (optionally) --replay/--record/--trace-dir.  Returns false after
+ *  printing usage on an unknown flag or malformed value. */
 inline bool
-parseFlags(int argc, char **argv, unsigned &jobs, core::ShardSpec *shard)
+parseFlags(int argc, char **argv, unsigned &jobs, core::ShardSpec *shard,
+           core::RunMode *mode = nullptr,
+           std::string *trace_dir = nullptr)
 {
     jobs = static_cast<unsigned>(
         core::envUint("ABSIM_JOBS", jobs, 1, 4096));
     if (shard != nullptr)
         *shard = core::envShard("ABSIM_SHARD");
-    const char *usage =
-        shard != nullptr ? " [--jobs N] [--shard K/N]" : " [--jobs N]";
+    std::string usage = " [--jobs N]";
+    if (shard != nullptr)
+        usage += " [--shard K/N]";
+    if (mode != nullptr)
+        usage += " [--replay | --record] [--trace-dir DIR]";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const char *value = nullptr;
@@ -90,6 +104,29 @@ parseFlags(int argc, char **argv, unsigned &jobs, core::ShardSpec *shard)
                           << ": --shard expects K/N with 0 <= K < N\n";
                 return false;
             }
+            continue;
+        } else if (mode != nullptr && arg == "--replay") {
+            *mode = core::RunMode::Replay;
+            continue;
+        } else if (mode != nullptr && arg == "--record") {
+            *mode = core::RunMode::Record;
+            continue;
+        } else if (trace_dir != nullptr &&
+                   (arg == "--trace-dir" ||
+                    arg.rfind("--trace-dir=", 0) == 0)) {
+            const char *dir = nullptr;
+            if (arg == "--trace-dir") {
+                if (i + 1 < argc)
+                    dir = argv[++i];
+            } else {
+                dir = arg.c_str() + 12;
+            }
+            if (dir == nullptr || *dir == '\0') {
+                std::cerr << argv[0]
+                          << ": --trace-dir expects a directory\n";
+                return false;
+            }
+            *trace_dir = dir;
             continue;
         } else {
             std::cerr << "usage: " << argv[0] << usage << "\n";
@@ -135,13 +172,23 @@ runFigureMain(const std::string &title, const std::string &app,
 {
     unsigned jobs = 1;
     core::ShardSpec shard;
-    if (argv != nullptr && !parseSweepFlags(argc, argv, jobs, shard))
+    // Env defaults, overridable by --replay/--record/--trace-dir.
+    core::RunMode mode = core::envUint("ABSIM_REPLAY", 0, 0, 1) != 0
+                             ? core::RunMode::Replay
+                             : core::RunMode::Execute;
+    std::string trace_dir = "traces";
+    if (const char *dir = core::envString("ABSIM_TRACE_DIR"))
+        trace_dir = dir;
+    if (argv != nullptr &&
+        !detail::parseFlags(argc, argv, jobs, &shard, &mode, &trace_dir))
         return 2;
     if (argv == nullptr)
         shard = core::envShard("ABSIM_SHARD");
 
     core::RunConfig base;
     base.app = app;
+    base.mode = mode;
+    base.traceDir = trace_dir;
     base.params.n = core::envUint("ABSIM_SIZE", base.params.n, 1);
 
     const std::uint32_t max_procs = static_cast<std::uint32_t>(

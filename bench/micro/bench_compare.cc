@@ -11,6 +11,7 @@
 /// bench_common.hh writes one bench object per line with known keys,
 /// and this tool greps them back out — no third-party dependency, and
 /// a malformed file is a loud exit-2 diagnostic.
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -173,11 +174,16 @@ main(int argc, char **argv)
             continue;
         }
         const BenchLine &cur = *it->second;
-        // Regression direction follows the bench's own polarity.
-        const double delta =
-            base.higherIsBetter
-                ? (base.median - cur.median) / base.median
-                : (cur.median - base.median) / base.median;
+        // Regression direction follows the bench's own polarity.  The
+        // band is relative to the baseline, clamped away from zero: a
+        // zero baseline median (a sub-resolution timer read, or a
+        // counter-style bench that legitimately measures nothing) used
+        // to produce a NaN/inf delta, and NaN compares false against
+        // the tolerance — i.e. a real regression sailed through.
+        const double denom = std::max(std::abs(base.median), 1e-12);
+        const double delta = base.higherIsBetter
+                                 ? (base.median - cur.median) / denom
+                                 : (cur.median - base.median) / denom;
         const char *verdict = delta > tolerance ? "FAIL" : "ok  ";
         if (delta > tolerance)
             ++failures;

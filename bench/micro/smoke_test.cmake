@@ -20,8 +20,15 @@ execute_process(COMMAND ${BENCH_SWEEP} RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
     message(FATAL_ERROR "bench_sweep failed: ${rc}")
 endif()
+execute_process(COMMAND ${BENCH_REPLAY} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_replay failed: ${rc}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/replay_divergence.json)
+    message(FATAL_ERROR "replay_divergence.json was not written")
+endif()
 
-foreach(suite kernel sweep)
+foreach(suite kernel sweep replay)
     if(NOT EXISTS ${WORK_DIR}/BENCH_${suite}.json)
         message(FATAL_ERROR "BENCH_${suite}.json was not written")
     endif()

@@ -81,7 +81,14 @@ usage(std::FILE *out, const char *argv0)
         "                   identical for any value)\n"
         "  --shard K/N      with --sweep: run only shard K of N (the\n"
         "                   (point x machine) items with index = K mod\n"
-        "                   N; merge journals with journal_merge)\n",
+        "                   N; merge journals with journal_merge)\n"
+        "  --record         execute and record the reference trace into\n"
+        "                   the trace store (see docs/TRACING.md)\n"
+        "  --replay         replay stored traces instead of executing\n"
+        "                   (record-on-miss: a missing trace executes\n"
+        "                   and records)\n"
+        "  --trace-dir DIR  trace store directory (default 'traces';\n"
+        "                   env ABSIM_TRACE_DIR)\n",
         argv0, machines.c_str());
 }
 
@@ -132,6 +139,8 @@ int
 main(int argc, char **argv)
 {
     core::RunConfig config;
+    if (const char *dir = core::envString("ABSIM_TRACE_DIR"))
+        config.traceDir = dir;
     core::RunPolicy policy;
     fault::Plan plan;
     bool sweep = false;
@@ -271,6 +280,12 @@ main(int argc, char **argv)
                 badFlag(argv0, std::string("invalid --shard value '") +
                                    spec +
                                    "' (expected K/N with 0 <= K < N)");
+        } else if (arg == "--record") {
+            config.mode = core::RunMode::Record;
+        } else if (arg == "--replay") {
+            config.mode = core::RunMode::Replay;
+        } else if (arg == "--trace-dir") {
+            config.traceDir = next(i);
         } else {
             badFlag(argv0, "unknown option '" + arg + "'");
         }

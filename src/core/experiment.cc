@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -15,6 +16,8 @@
 #include "runtime/shared.hh"
 #include "sim/event_queue.hh"
 #include "sim/trace.hh"
+#include "trace_replay/recorder.hh"
+#include "trace_replay/replay.hh"
 
 namespace absim::core {
 
@@ -32,8 +35,10 @@ makeMachine(const RunConfig &config, sim::EventQueue &eq,
                              config.cache, config.protocol);
 }
 
+/** Execution-driven run, optionally observed by a trace recorder. */
 stats::Profile
-runOneImpl(const RunConfig &config, const sim::RunBudget *budget)
+executeOne(const RunConfig &config, const sim::RunBudget *budget,
+           trace::Recorder *recorder)
 {
     // absim-lint: D1 ok(wall-clock cost accounting for Profile.wallSeconds; never reaches simulated time or figure bytes)
     const auto wall_begin = std::chrono::steady_clock::now();
@@ -48,6 +53,11 @@ runOneImpl(const RunConfig &config, const sim::RunBudget *budget)
     rt::SharedHeap heap(config.procs);
     auto machine = makeMachine(config, eq, heap);
     rt::Runtime runtime(eq, *machine, config.procs);
+    if (recorder != nullptr) {
+        // Bound before setup: the recorder must see the allocations.
+        heap.bindSink(recorder);
+        runtime.bindSink(recorder);
+    }
     auto app = apps::makeApp(config.app);
 
     app->setup(runtime, heap, config.params);
@@ -69,6 +79,125 @@ runOneImpl(const RunConfig &config, const sim::RunBudget *budget)
     profile.wallSeconds =
         std::chrono::duration<double>(wall_end - wall_begin).count();
     return profile;
+}
+
+std::string
+tracePath(const RunConfig &config)
+{
+    return config.traceDir + "/" +
+           trace::traceFileName(config.app, config.params, config.procs);
+}
+
+/** Execute the point with a recorder bound and persist its trace.
+ *  Save failures (full disk, unwritable dir) degrade to a plain
+ *  executed profile: the trace store is a cache, not a result. */
+stats::Profile
+executeAndRecord(const RunConfig &config, const sim::RunBudget *budget)
+{
+    trace::Recorder recorder(config.procs);
+    stats::Profile profile = executeOne(config, budget, &recorder);
+    trace::Trace recorded = recorder.take(config.app, config.params);
+    try {
+        std::filesystem::create_directories(config.traceDir);
+        trace::saveTrace(recorded, tracePath(config));
+    } catch (const std::exception &) {
+        // Recording is best-effort; the executed profile stands.
+    }
+    return profile;
+}
+
+/**
+ * Process-wide cache of loaded traces, keyed by (path, mtime, size).
+ *
+ * A figure sweep replays the trace of each processor count once per
+ * machine column; without the cache every column re-parses the same
+ * multi-megabyte op stream, and that load dominates the low-P replay
+ * cells.  The cache is tiny (a sweep touches one trace per P) and
+ * validates freshness against the file's stat, so a re-recorded trace
+ * is never replayed stale.  Returns nullptr when the file is missing
+ * or torn — the record-on-miss path handles it.
+ */
+std::shared_ptr<const trace::Trace>
+loadTraceShared(const std::string &path)
+{
+    struct Entry
+    {
+        std::string path;
+        std::filesystem::file_time_type mtime;
+        std::uintmax_t size = 0;
+        std::shared_ptr<const trace::Trace> trace;
+    };
+    constexpr std::size_t kMaxEntries = 4;
+    static std::mutex mu;
+    static std::vector<Entry> cache;
+
+    std::error_code ec;
+    const auto mtime = std::filesystem::last_write_time(path, ec);
+    if (ec)
+        return nullptr;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec)
+        return nullptr;
+
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        for (std::size_t i = 0; i < cache.size(); ++i) {
+            if (cache[i].path == path && cache[i].mtime == mtime &&
+                cache[i].size == size) {
+                Entry hit = std::move(cache[i]);
+                cache.erase(cache.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                cache.push_back(std::move(hit)); // LRU: back = newest.
+                return cache.back().trace;
+            }
+        }
+    }
+
+    // Parse outside the lock: concurrent sweep shards loading
+    // *different* traces must not serialize (a duplicate concurrent
+    // load of the same path is wasteful but harmless).
+    auto loaded = std::make_shared<trace::Trace>();
+    if (!trace::loadTrace(path, *loaded))
+        return nullptr;
+
+    const std::lock_guard<std::mutex> lock(mu);
+    if (cache.size() >= kMaxEntries)
+        cache.erase(cache.begin());
+    cache.push_back(Entry{path, mtime, size, loaded});
+    return loaded;
+}
+
+stats::Profile
+runOneImpl(const RunConfig &config, const sim::RunBudget *budget)
+{
+    switch (config.mode) {
+      case RunMode::Execute:
+        return executeOne(config, budget, nullptr);
+      case RunMode::Record:
+        return executeAndRecord(config, budget);
+      case RunMode::Replay:
+        break;
+    }
+
+    // Replay with record-on-miss: a loadable, replayable trace replays;
+    // a missing/torn/mismatched file executes and records for next
+    // time; a trace marked non-replayable (message-passing runs)
+    // permanently falls back to plain execution.
+    const std::shared_ptr<const trace::Trace> recorded =
+        loadTraceShared(tracePath(config));
+    if (recorded == nullptr)
+        return executeAndRecord(config, budget);
+    if (!recorded->replayable)
+        return executeOne(config, budget, nullptr);
+
+    RunContext run_context;
+    trace::ReplaySpec spec;
+    spec.machine = config.machine;
+    spec.topology = config.topology;
+    spec.gapPolicy = config.gapPolicy;
+    spec.cache = config.cache;
+    spec.protocol = config.protocol;
+    return trace::replayTrace(*recorded, spec);
 }
 
 /** First line of a (possibly multi-line) exception message; the

@@ -31,6 +31,25 @@
 
 namespace absim::core {
 
+/**
+ * How the driver obtains a run's reference stream.
+ *
+ * Execute is the paper's execution-driven mode.  Record executes and
+ * additionally captures the shared-reference trace into traceDir.
+ * Replay feeds a previously recorded trace through the configured
+ * machine without executing the application — with record-on-miss: a
+ * missing/torn/non-matching trace file makes the point execute (and
+ * record), so a replay sweep is self-priming.  A trace is recorded per
+ * (app, params, procs) point and is machine-independent; see
+ * docs/TRACING.md.
+ */
+enum class RunMode : std::uint8_t
+{
+    Execute,
+    Record,
+    Replay,
+};
+
 /** Everything needed to reproduce one simulation run. */
 struct RunConfig
 {
@@ -44,6 +63,8 @@ struct RunConfig
     mach::ProtocolKind protocol =
         mach::ProtocolKind::Berkeley; ///< Target-machine protocol.
     bool checkResult = true; ///< Validate numerics after the run.
+    RunMode mode = RunMode::Execute;
+    std::string traceDir = "traces"; ///< Trace store for Record/Replay.
 };
 
 /** Thrown by runOne() when the application's result check fails. */

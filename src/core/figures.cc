@@ -622,4 +622,34 @@ writeFailureManifest(std::ostream &os, const Figure &figure,
     os << "\n}\n";
 }
 
+trace::DivergenceReport
+compareFigures(const Figure &executed, const Figure &replayed)
+{
+    trace::DivergenceReport report;
+    report.figure = executed.app + "_" + net::toString(executed.topology) +
+                    "_" + toString(executed.metric);
+    report.metric = toString(executed.metric);
+
+    const std::vector<std::string> columns =
+        machineColumns(figureMachines(executed));
+    for (const SeriesPoint &exec_pt : executed.points) {
+        const SeriesPoint *rep_pt = nullptr;
+        for (const SeriesPoint &candidate : replayed.points)
+            if (candidate.procs == exec_pt.procs) {
+                rep_pt = &candidate;
+                break;
+            }
+        if (rep_pt == nullptr)
+            continue; // Unpaired point: nothing to compare.
+        const std::size_t cols =
+            std::min({columns.size(), exec_pt.values.size(),
+                      rep_pt->values.size()});
+        for (std::size_t c = 0; c < cols; ++c)
+            report.add(columns[c], exec_pt.procs, exec_pt.values[c],
+                       rep_pt->values[c]);
+    }
+    report.finalize();
+    return report;
+}
+
 } // namespace absim::core

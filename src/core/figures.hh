@@ -23,6 +23,7 @@
 
 #include "core/experiment.hh"
 #include "core/journal.hh"
+#include "trace_replay/divergence.hh"
 
 namespace absim::core {
 
@@ -205,6 +206,17 @@ void writeFigureJson(std::ostream &os, const SweepResult &result);
 /** Write just the failure manifest as a JSON document. */
 void writeFailureManifest(std::ostream &os, const Figure &figure,
                           const std::vector<FailedPoint> &failures);
+
+/**
+ * Compare an execution-driven figure against its replayed counterpart
+ * point by point (same machine order and proc counts required; extra
+ * or missing points simply do not pair up and are skipped).  For
+ * feedback-negligible figures the report comes back identical == true;
+ * for feedback-sensitive ones it quantifies the replay error.  See
+ * docs/TRACING.md.
+ */
+trace::DivergenceReport compareFigures(const Figure &executed,
+                                       const Figure &replayed);
 
 } // namespace absim::core
 

@@ -19,6 +19,8 @@ MsgWorld::send(rt::Proc &p, net::NodeId dst, Tag tag, const void *data,
 {
     ABSIM_CHECK(dst < nodes_ && dst != p.node(),
                 "node " << p.node() << " sent to invalid target " << dst);
+    if (rt::RefSink *s = p.sink()) [[unlikely]]
+        s->onUntraceable("message-passing send");
     p.syncToEngine();
     const sim::Tick began = eq_.now();
 
@@ -73,6 +75,8 @@ MsgWorld::recv(rt::Proc &p, net::NodeId src, Tag tag)
     ABSIM_CHECK(src < nodes_ && src != p.node(),
                 "node " << p.node() << " received from invalid source "
                         << src);
+    if (rt::RefSink *s = p.sink()) [[unlikely]]
+        s->onUntraceable("message-passing recv");
     p.syncToEngine();
     const sim::Tick began = eq_.now();
 

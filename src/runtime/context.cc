@@ -52,6 +52,8 @@ Proc::compute(std::uint64_t n)
 void
 Proc::computeNs(sim::Duration ns)
 {
+    if (sink_ != nullptr) [[unlikely]]
+        sink_->onCompute(id_, ns);
     localTime_ += ns;
     stats_.busy += ns;
 }
@@ -63,6 +65,8 @@ Proc::access(mem::Addr addr, mach::AccessType type, std::uint32_t bytes)
                  "access of " << bytes << " bytes exceeds a cache block");
     ABSIM_DCHECK(mem::blockOf(addr) == mem::blockOf(addr + bytes - 1),
                  "access at " << addr << " straddles cache blocks");
+    if (sink_ != nullptr) [[unlikely]]
+        sink_->onAccess(id_, addr, type, bytes);
     if (fault::armed()) [[unlikely]] {
         const fault::AccessFault af = fault::injector().onAccess(id_);
         if (af.wedge)
@@ -161,6 +165,8 @@ Proc::flushPhase()
 void
 Proc::beginPhase(const std::string &name)
 {
+    if (sink_ != nullptr) [[unlikely]]
+        sink_->onPhase(id_, name);
     flushPhase();
     currentPhase_ = name;
 }
@@ -197,8 +203,10 @@ Runtime::spawn(std::function<void(Proc &)> body)
     ABSIM_CHECK(procs_.empty(), "spawn may only be called once");
     procs_.reserve(p_);
     processes_.reserve(p_);
-    for (std::uint32_t i = 0; i < p_; ++i)
+    for (std::uint32_t i = 0; i < p_; ++i) {
         procs_.push_back(std::make_unique<Proc>(*this, i));
+        procs_.back()->bindSink(sink_);
+    }
     for (std::uint32_t i = 0; i < p_; ++i) {
         Proc *proc = procs_[i].get();
         processes_.push_back(std::make_unique<sim::Process>(

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "machines/machine.hh"
+#include "runtime/ref_sink.hh"
 #include "sim/process.hh"
 #include "stats/histogram.hh"
 #include "stats/overheads.hh"
@@ -90,6 +91,11 @@ class Proc : public mach::MemClient
     /// @{
     void bindProcess(sim::Process *p) { process_ = p; }
 
+    /** The reference-stream observer, or null (the common case). */
+    RefSink *sink() const { return sink_; }
+
+    void bindSink(RefSink *sink) { sink_ = sink; }
+
     void
     recordFinish()
     {
@@ -128,6 +134,7 @@ class Proc : public mach::MemClient
     Runtime &rt_;
     net::NodeId id_;
     sim::Process *process_ = nullptr;
+    RefSink *sink_ = nullptr;
     sim::Tick localTime_ = 0;
 
     /** Set by syncToEngine(); reset at the top of every access so the
@@ -160,6 +167,13 @@ class Runtime
     void spawn(std::function<void(Proc &)> body);
 
     /**
+     * Install a reference-stream observer on every processor spawn()
+     * creates (the trace recorder).  Call before spawn(); null (the
+     * default) records nothing.
+     */
+    void bindSink(RefSink *sink) { sink_ = sink; }
+
+    /**
      * Run the simulation to completion.
      * @throws whatever a worker threw (captured on the worker's fiber,
      *         rethrown here on the scheduler stack).
@@ -182,6 +196,7 @@ class Runtime
     sim::EventQueue &eq_;
     mach::Machine &machine_;
     std::uint32_t p_;
+    RefSink *sink_ = nullptr;
     std::vector<std::unique_ptr<Proc>> procs_;
     std::vector<std::unique_ptr<sim::Process>> processes_;
     std::exception_ptr workerError_;

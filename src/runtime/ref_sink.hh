@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The recording interface between the runtime and the trace layer.
+ *
+ * A RefSink observes the runtime's shared-reference stream: computation
+ * charges, shared-memory accesses (with the value/index hints the typed
+ * SharedArray accessors provide), phase marks, allocator layout, and the
+ * *semantic* synchronization operations (lock acquire, barrier arrival,
+ * flag wait).  The synchronization entry points bracket their internal
+ * spin accesses with onSyncBegin()/onSyncEnd() so a recorder can store
+ * the one semantic operation instead of the machine-dependent spin
+ * pattern — the spins are regenerated per machine at replay, which is
+ * what keeps a recorded trace valid across NetModel x MemModel stacks
+ * (see src/trace_replay and docs/TRACING.md).
+ *
+ * The runtime never depends on the trace layer: trace_replay::Recorder
+ * implements this interface and core::experiment installs it on the
+ * SharedHeap (setup-time records) and the Runtime (per-processor
+ * records).  A null sink (the default) costs one predicted branch per
+ * hook site.
+ */
+
+#ifndef ABSIM_RUNTIME_REF_SINK_HH
+#define ABSIM_RUNTIME_REF_SINK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "machines/machine.hh"
+#include "mem/addr.hh"
+#include "net/topology.hh"
+#include "sim/types.hh"
+
+namespace absim::rt {
+
+/** Which read-modify-write primitive a SharedArray RMW hint refers to. */
+enum class RmwOp : std::uint8_t
+{
+    FetchAdd,
+    TestAndSet,
+};
+
+/** Semantic synchronization operations (re-executed at replay). */
+enum class SyncKind : std::uint8_t
+{
+    LockTS,        ///< SpinLock acquire, plain test&set flavor.
+    LockTTS,       ///< SpinLock acquire, test-test&set flavor.
+    BarrierArrive, ///< Sense-reversing barrier arrival.
+    FlagWait,      ///< Flag::waitFor spin.
+};
+
+/**
+ * Observer of the shared-reference stream.  All callbacks fire on the
+ * simulation thread, in execution order.
+ */
+class RefSink
+{
+  public:
+    virtual ~RefSink() = default;
+
+    /** Processor @p n charged @p ns of computation. */
+    virtual void onCompute(net::NodeId n, sim::Duration ns) = 0;
+
+    /** Processor @p n issued a shared access (before it executes). */
+    virtual void onAccess(net::NodeId n, mem::Addr addr,
+                          mach::AccessType type, std::uint32_t bytes) = 0;
+
+    /**
+     * Value/index hint for the write access just recorded: element
+     * index @p index, new value @p bits (raw bits, zero for elements
+     * wider than 8 bytes).
+     */
+    virtual void onWriteValue(net::NodeId n, std::uint64_t bits,
+                              std::uint64_t index) = 0;
+
+    /**
+     * Kind/operand/result hint for the RMW access just recorded.
+     * @p result carries the old (returned) value's raw bits.
+     */
+    virtual void onRmw(net::NodeId n, RmwOp op, std::uint64_t operand,
+                       std::uint64_t result) = 0;
+
+    /** Processor @p n began the named application phase. */
+    virtual void onPhase(net::NodeId n, const std::string &name) = 0;
+
+    /** The shared heap performed an allocation (@p placement is the
+     *  rt::Placement enumerator value; rt::Placement itself would be a
+     *  circular include here). */
+    virtual void onAlloc(mem::Addr base, std::uint64_t bytes,
+                         std::uint8_t placement, net::NodeId node) = 0;
+
+    /** A barrier was constructed over the given count/sense words. */
+    virtual void onBarrierCtor(mem::Addr count_addr, mem::Addr sense_addr,
+                               std::uint32_t parties) = 0;
+
+    /**
+     * Processor @p n entered a semantic synchronization operation on
+     * shared word @p word (@p value: the awaited value for FlagWait,
+     * unused otherwise).  Until the matching onSyncEnd(), the
+     * operation's internal accesses should be suppressed — they are
+     * machine-dependent spin traffic.
+     */
+    virtual void onSyncBegin(net::NodeId n, SyncKind kind, mem::Addr word,
+                             std::uint64_t value) = 0;
+
+    /** Processor @p n left the semantic synchronization operation. */
+    virtual void onSyncEnd(net::NodeId n) = 0;
+
+    /**
+     * The run used a runtime facility the trace format cannot replay
+     * (message-passing transports).  The recorder marks the trace
+     * non-replayable; replay then falls back to execution.
+     */
+    virtual void onUntraceable(const char *why) = 0;
+};
+
+} // namespace absim::rt
+
+#endif // ABSIM_RUNTIME_REF_SINK_HH

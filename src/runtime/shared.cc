@@ -53,6 +53,9 @@ SharedHeap::allocate(std::uint64_t bytes, Placement placement,
 
     next_ += seg.bytes;
     segments_.push_back(seg);
+    if (sink_ != nullptr) [[unlikely]]
+        sink_->onAlloc(seg.base, bytes,
+                       static_cast<std::uint8_t>(placement), node);
     return seg.base;
 }
 

@@ -16,6 +16,7 @@
 #define ABSIM_RUNTIME_SHARED_HH
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "check/check.hh"
@@ -56,6 +57,18 @@ class SharedHeap : public mem::HomeMap
 
     std::uint32_t nodes() const { return nodes_; }
 
+    /** @name Trace recording (see runtime/ref_sink.hh).
+     *
+     * A bound sink observes every allocation (and, from the sync
+     * primitives, barrier construction), so a replay can rebuild the
+     * identical address-space layout.  Null by default.
+     */
+    /// @{
+    RefSink *sink() const { return sink_; }
+
+    void bindSink(RefSink *sink) { sink_ = sink; }
+    /// @}
+
   private:
     struct Segment
     {
@@ -69,7 +82,28 @@ class SharedHeap : public mem::HomeMap
     std::uint32_t nodes_;
     std::vector<Segment> segments_; // Sorted by base (append-only).
     mem::Addr next_;
+    RefSink *sink_ = nullptr;
 };
+
+namespace detail {
+
+/** Raw bits of a shared element, for trace value hints.  Elements wider
+ *  than 8 bytes record zero: their values are never consulted at replay
+ *  (RMW and synchronization words are always word-sized). */
+template <typename T>
+std::uint64_t
+valueBits(const T &v)
+{
+    if constexpr (sizeof(T) <= 8) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(T));
+        return bits;
+    } else {
+        return 0;
+    }
+}
+
+} // namespace detail
 
 /**
  * A typed array in simulated shared memory with native backing storage.
@@ -119,6 +153,8 @@ class SharedArray
     write(Proc &p, std::size_t i, const T &v)
     {
         p.memWrite(addrOf(i), sizeof(T));
+        if (RefSink *s = p.sink()) [[unlikely]]
+            s->onWriteValue(p.node(), detail::valueBits(v), i);
         data_[i] = v;
     }
 
@@ -129,6 +165,9 @@ class SharedArray
         p.memRmw(addrOf(i), sizeof(T));
         const T old = data_[i];
         data_[i] = static_cast<T>(old + delta);
+        if (RefSink *s = p.sink()) [[unlikely]]
+            s->onRmw(p.node(), RmwOp::FetchAdd, detail::valueBits(delta),
+                     detail::valueBits(old));
         return old;
     }
 
@@ -139,6 +178,9 @@ class SharedArray
         p.memRmw(addrOf(i), sizeof(T));
         const T old = data_[i];
         data_[i] = static_cast<T>(1);
+        if (RefSink *s = p.sink()) [[unlikely]]
+            s->onRmw(p.node(), RmwOp::TestAndSet, 0,
+                     detail::valueBits(old));
         return old;
     }
 

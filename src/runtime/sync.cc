@@ -2,6 +2,41 @@
 
 namespace absim::rt {
 
+namespace {
+
+/**
+ * Records one semantic synchronization operation and suppresses the
+ * operation's internal spin accesses for its duration (they are
+ * machine-dependent; replay regenerates them per machine — see
+ * runtime/ref_sink.hh).
+ */
+class SyncRecordScope
+{
+  public:
+    SyncRecordScope(Proc &p, SyncKind kind, mem::Addr word,
+                    std::uint64_t value = 0)
+        : sink_(p.sink()), node_(p.node())
+    {
+        if (sink_ != nullptr) [[unlikely]]
+            sink_->onSyncBegin(node_, kind, word, value);
+    }
+
+    ~SyncRecordScope()
+    {
+        if (sink_ != nullptr) [[unlikely]]
+            sink_->onSyncEnd(node_);
+    }
+
+    SyncRecordScope(const SyncRecordScope &) = delete;
+    SyncRecordScope &operator=(const SyncRecordScope &) = delete;
+
+  private:
+    RefSink *sink_;
+    net::NodeId node_;
+};
+
+} // namespace
+
 SpinLock::SpinLock(SharedHeap &heap, net::NodeId home, LockKind kind)
     : word_(heap, 1, Placement::OnNode, home), kind_(kind)
 {
@@ -10,6 +45,11 @@ SpinLock::SpinLock(SharedHeap &heap, net::NodeId home, LockKind kind)
 void
 SpinLock::lock(Proc &p)
 {
+    SyncRecordScope record(p,
+                           kind_ == LockKind::TestTestAndSet
+                               ? SyncKind::LockTTS
+                               : SyncKind::LockTS,
+                           word_.addrOf(0));
     Backoff backoff;
     bool first_try = true;
     for (;;) {
@@ -47,11 +87,14 @@ Barrier::Barrier(SharedHeap &heap, std::uint32_t parties, net::NodeId home)
       sense_(heap, 1, Placement::OnNode, home),
       localSense_(mem::kMaxNodes, 0)
 {
+    if (RefSink *s = heap.sink()) [[unlikely]]
+        s->onBarrierCtor(count_.addrOf(0), sense_.addrOf(0), parties);
 }
 
 void
 Barrier::arrive(Proc &p)
 {
+    SyncRecordScope record(p, SyncKind::BarrierArrive, count_.addrOf(0));
     const std::uint64_t my_sense = 1 - localSense_[p.node()];
     localSense_[p.node()] = my_sense;
 
@@ -87,6 +130,7 @@ Flag::get(Proc &p)
 void
 Flag::waitFor(Proc &p, std::uint64_t value)
 {
+    SyncRecordScope record(p, SyncKind::FlagWait, word_.addrOf(0), value);
     Backoff backoff;
     while (word_.read(p, 0) != value)
         backoff.pause(p);

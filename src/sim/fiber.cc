@@ -91,14 +91,29 @@ FiberStackPool::acquire(std::size_t bytes)
     return std::unique_ptr<unsigned char[]>(new unsigned char[bytes]);
 }
 
+FiberStackPool::~FiberStackPool()
+{
+    // The thread is going away with stacks still pooled.  Hand the
+    // memory back to the allocator with its shadow clean: a stack
+    // poisoned by a fiber's ASan instrumentation must not leak its
+    // poison into whatever the allocator hands out at these addresses
+    // next (the allocator only scrubs shadow for the exact chunks it
+    // re-issues, not for arbitrary interior regions).
+    for (const auto &stack : pool_)
+        check::unpoisonStackMemory(stack.get(), kPooledStackBytes);
+}
+
 void
 FiberStackPool::recycle(std::unique_ptr<unsigned char[]> stack,
                         std::size_t bytes)
 {
-    if (bytes == kPooledStackBytes && pool_.size() < kMaxPooled) {
-        check::unpoisonStackMemory(stack.get(), bytes);
+    // Unpoison on every return path — including stacks this pool is
+    // about to *drop* (odd-sized, or pool at capacity).  Freeing a
+    // still-poisoned buffer used to leave stale shadow behind the
+    // allocator's back.
+    check::unpoisonStackMemory(stack.get(), bytes);
+    if (bytes == kPooledStackBytes && pool_.size() < kMaxPooled)
         pool_.push_back(std::move(stack));
-    }
 }
 
 Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)

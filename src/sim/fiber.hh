@@ -56,6 +56,10 @@ class FiberStackPool
     /** The executing thread's persistent pool. */
     static FiberStackPool &forThisThread();
 
+    /** Unpoisons every retained stack before the memory is freed (the
+     *  pool dies with its thread; see the implementation note). */
+    ~FiberStackPool();
+
     /** A recycled stack when one fits, else a fresh allocation. */
     std::unique_ptr<unsigned char[]> acquire(std::size_t bytes);
 

@@ -1,0 +1,115 @@
+#include "trace_replay/divergence.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace absim::trace {
+
+namespace {
+
+/** Guard against zero/near-zero executed values blowing up relDelta. */
+constexpr double kRelEpsilon = 1e-12;
+
+/** Round-trippable decimal form (same %.17g contract as the journal's
+ *  formatDouble; duplicated because this layer sits below core). */
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        const auto c = static_cast<unsigned char>(ch);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+DivergenceReport::add(const std::string &column, std::uint32_t procs,
+                      double executed, double replayed)
+{
+    DivergencePoint pt;
+    pt.column = column;
+    pt.procs = procs;
+    pt.executed = executed;
+    pt.replayed = replayed;
+    pt.absDelta = std::fabs(replayed - executed);
+    pt.relDelta =
+        pt.absDelta / std::max(std::fabs(executed), kRelEpsilon);
+    points.push_back(std::move(pt));
+}
+
+void
+DivergenceReport::finalize()
+{
+    maxAbs = maxRel = meanAbs = meanRel = 0.0;
+    identical = true;
+    if (points.empty())
+        return;
+    for (const DivergencePoint &pt : points) {
+        maxAbs = std::max(maxAbs, pt.absDelta);
+        maxRel = std::max(maxRel, pt.relDelta);
+        meanAbs += pt.absDelta;
+        meanRel += pt.relDelta;
+        if (pt.absDelta != 0.0)
+            identical = false;
+    }
+    meanAbs /= static_cast<double>(points.size());
+    meanRel /= static_cast<double>(points.size());
+}
+
+std::string
+toJson(const DivergenceReport &report)
+{
+    std::ostringstream os;
+    os << "{\"format\":\"absim-divergence\",\"version\":1"
+       << ",\"figure\":\"" << escape(report.figure) << "\""
+       << ",\"metric\":\"" << escape(report.metric) << "\""
+       << ",\"identical\":" << (report.identical ? "true" : "false")
+       << ",\"max_abs\":" << formatDouble(report.maxAbs)
+       << ",\"max_rel\":" << formatDouble(report.maxRel)
+       << ",\"mean_abs\":" << formatDouble(report.meanAbs)
+       << ",\"mean_rel\":" << formatDouble(report.meanRel)
+       << ",\"points\":[";
+    for (std::size_t i = 0; i < report.points.size(); ++i) {
+        const DivergencePoint &pt = report.points[i];
+        if (i > 0)
+            os << ",";
+        os << "{\"column\":\"" << escape(pt.column) << "\""
+           << ",\"procs\":" << pt.procs
+           << ",\"executed\":" << formatDouble(pt.executed)
+           << ",\"replayed\":" << formatDouble(pt.replayed)
+           << ",\"abs_delta\":" << formatDouble(pt.absDelta)
+           << ",\"rel_delta\":" << formatDouble(pt.relDelta) << "}";
+    }
+    os << "]}\n";
+    return os.str();
+}
+
+} // namespace absim::trace

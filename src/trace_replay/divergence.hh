@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Machine-readable replay divergence reports.
+ *
+ * Replay is proven byte-identical for figures whose applications have
+ * machine-independent reference streams (the common case; tests pin
+ * it).  For figures flagged feedback-sensitive — where an application's
+ * *pattern* could shift with machine timing — the harness replays
+ * anyway and emits this report comparing every (column, procs) point
+ * against the execution-driven value, so the error introduced by
+ * replaying is a measured quantity rather than an assumption.  See
+ * docs/TRACING.md.
+ */
+
+#ifndef ABSIM_TRACE_REPLAY_DIVERGENCE_HH
+#define ABSIM_TRACE_REPLAY_DIVERGENCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace absim::trace {
+
+/** One compared sweep point. */
+struct DivergencePoint
+{
+    std::string column; ///< Machine column key, e.g. "logpc".
+    std::uint32_t procs = 0;
+    double executed = 0.0;
+    double replayed = 0.0;
+    double absDelta = 0.0;
+    double relDelta = 0.0; ///< absDelta / max(|executed|, epsilon).
+};
+
+struct DivergenceReport
+{
+    std::string figure;
+    std::string metric;
+    std::vector<DivergencePoint> points;
+
+    double maxAbs = 0.0;
+    double maxRel = 0.0;
+    double meanAbs = 0.0;
+    double meanRel = 0.0;
+    bool identical = true; ///< Every point's absDelta == 0.
+
+    /** Add one compared point (deltas derived here). */
+    void add(const std::string &column, std::uint32_t procs,
+             double executed, double replayed);
+
+    /** Recompute the aggregates from the points. */
+    void finalize();
+};
+
+/** Serialize as a stable one-object JSON document (trailing newline). */
+std::string toJson(const DivergenceReport &report);
+
+} // namespace absim::trace
+
+#endif // ABSIM_TRACE_REPLAY_DIVERGENCE_HH

@@ -1,0 +1,394 @@
+#include "trace_replay/format.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include <unistd.h> // fsync
+
+#include "check/check.hh"
+
+namespace absim::trace {
+
+namespace {
+
+// ------------------------------------------------------------- JSON
+
+/** Minimal JSON string escape for the header line.  Local on purpose:
+ *  the trace layer sits below core/ in the include DAG, so it cannot
+ *  reuse core::jsonEscape. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Pull one `"key":<value>` out of the header line.  The header is
+ *  machine-written right above, so a tolerant scan (no full JSON
+ *  parser) is enough; any surprise fails the load as a miss. */
+bool
+findRawValue(const std::string &header, const std::string &key,
+             std::string &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = header.find(needle);
+    if (at == std::string::npos)
+        return false;
+    std::size_t i = at + needle.size();
+    if (i >= header.size())
+        return false;
+    if (header[i] == '"') {
+        // String value: scan to the closing unescaped quote.
+        std::string s;
+        for (++i; i < header.size(); ++i) {
+            if (header[i] == '\\' && i + 1 < header.size()) {
+                const char n = header[++i];
+                switch (n) {
+                  case 'n': s += '\n'; break;
+                  case 'r': s += '\r'; break;
+                  case 't': s += '\t'; break;
+                  case 'u':
+                    if (i + 4 >= header.size())
+                        return false;
+                    s += static_cast<char>(
+                        std::stoul(header.substr(i + 1, 4), nullptr, 16));
+                    i += 4;
+                    break;
+                  default: s += n; break;
+                }
+            } else if (header[i] == '"') {
+                out = s;
+                return true;
+            } else {
+                s += header[i];
+            }
+        }
+        return false;
+    }
+    std::size_t end = i;
+    while (end < header.size() && header[end] != ',' &&
+           header[end] != '}')
+        ++end;
+    out = header.substr(i, end - i);
+    return true;
+}
+
+bool
+findU64(const std::string &header, const std::string &key,
+        std::uint64_t &out)
+{
+    std::string raw;
+    if (!findRawValue(header, key, raw))
+        return false;
+    try {
+        out = std::stoull(raw);
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+// ------------------------------------------------------- binary body
+
+void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out += static_cast<char>((v & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out += static_cast<char>(v);
+}
+
+bool
+getVarint(const std::string &in, std::size_t &at, std::uint64_t &out)
+{
+    out = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (at >= in.size())
+            return false;
+        const std::uint8_t byte = static_cast<std::uint8_t>(in[at++]);
+        out |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return true;
+    }
+    return false; // Over-long encoding: torn or hostile file.
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t
+fnv1a(const std::string &data)
+{
+    std::uint64_t h = kFnvOffset;
+    for (const char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+Trace::opCount() const
+{
+    std::uint64_t total = 0;
+    for (const std::vector<Op> &stream : streams)
+        total += stream.size();
+    return total;
+}
+
+std::string
+traceFileName(const std::string &app, const apps::AppParams &params,
+              std::uint32_t procs)
+{
+    // Only [a-z0-9-] survives into the name; anything else (an exotic
+    // synthetic variant, say) degrades to '_' — collisions across
+    // sanitized variants are acceptable because the header re-checks
+    // the exact workload identity at load time.
+    auto sanitize = [](const std::string &s) {
+        std::string out;
+        for (const char c : s)
+            out += (std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '-')
+                       ? c
+                       : '_';
+        return out;
+    };
+    std::ostringstream oss;
+    oss << "trace-v" << kFormatVersion << "-" << sanitize(app) << "-n"
+        << params.n << "-s" << params.seed << "-i" << params.iterations;
+    if (!params.variant.empty())
+        oss << "-" << sanitize(params.variant);
+    oss << "-p" << procs << ".abt";
+    return oss.str();
+}
+
+void
+saveTrace(const Trace &trace, const std::string &path)
+{
+    ABSIM_CHECK(trace.streams.size() == trace.procs,
+                "trace has " << trace.streams.size() << " streams for "
+                             << trace.procs << " processors");
+
+    std::ostringstream header;
+    header << "{\"format\":\"absim-trace\",\"version\":" << kFormatVersion
+           << ",\"app\":\"" << escape(trace.app) << "\",\"n\":" << trace.n
+           << ",\"seed\":" << trace.seed
+           << ",\"iterations\":" << trace.iterations << ",\"variant\":\""
+           << escape(trace.variant) << "\",\"procs\":" << trace.procs
+           << ",\"replayable\":" << (trace.replayable ? "true" : "false")
+           << ",\"why\":\"" << escape(trace.untraceableWhy)
+           << "\",\"phases\":[";
+    for (std::size_t i = 0; i < trace.phaseNames.size(); ++i)
+        header << (i != 0 ? "," : "") << "\"" << escape(trace.phaseNames[i])
+               << "\"";
+    header << "],\"setupOps\":" << trace.setup.size() << ",\"ops\":"
+           << trace.opCount() << "}\n";
+
+    std::string blob = header.str();
+    for (const SetupOp &op : trace.setup) {
+        blob += static_cast<char>(op.kind);
+        putVarint(blob, op.a);
+        putVarint(blob, op.b);
+        putVarint(blob, op.c);
+        putVarint(blob, op.d);
+    }
+    for (const std::vector<Op> &stream : trace.streams) {
+        putVarint(blob, stream.size());
+        for (const Op &op : stream) {
+            blob += static_cast<char>(op.kind);
+            blob += static_cast<char>(op.bytes);
+            putVarint(blob, op.aux);
+            putVarint(blob, op.addr);
+            putVarint(blob, op.value);
+        }
+    }
+    const std::uint64_t sum = fnv1a(blob);
+    for (unsigned i = 0; i < 8; ++i)
+        blob += static_cast<char>((sum >> (8 * i)) & 0xff);
+
+    // Journal durability discipline: temp sibling, flush, fsync, atomic
+    // rename.  Concurrent recorders of the same point race benignly —
+    // both write identical bytes and rename is atomic.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr)
+        throw std::runtime_error("cannot create trace temp file: " + tmp);
+    const bool wrote =
+        std::fwrite(blob.data(), 1, blob.size(), file) == blob.size() &&
+        std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
+    std::fclose(file);
+    if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot write trace file: " + path);
+    }
+}
+
+bool
+loadTrace(const std::string &path, Trace &out)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return false;
+    std::string blob;
+    char buf[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, file)) > 0)
+        blob.append(buf, got);
+    const bool readOk = std::ferror(file) == 0;
+    std::fclose(file);
+    if (!readOk || blob.size() < 8)
+        return false;
+
+    const std::string body = blob.substr(0, blob.size() - 8);
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        sum |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+                   blob[blob.size() - 8 + i]))
+               << (8 * i);
+    if (fnv1a(body) != sum)
+        return false; // Torn, truncated or corrupt: a cache miss.
+
+    const std::size_t nl = body.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    const std::string header = body.substr(0, nl);
+
+    Trace trace;
+    std::uint64_t version = 0, n = 0, seed = 0, iterations = 0, procs = 0,
+                  setupOps = 0, ops = 0;
+    std::string format, replayable;
+    if (!findRawValue(header, "format", format) ||
+        format != "absim-trace" || !findU64(header, "version", version) ||
+        version != kFormatVersion || !findRawValue(header, "app", trace.app) ||
+        !findU64(header, "n", n) || !findU64(header, "seed", seed) ||
+        !findU64(header, "iterations", iterations) ||
+        !findRawValue(header, "variant", trace.variant) ||
+        !findU64(header, "procs", procs) ||
+        !findRawValue(header, "replayable", replayable) ||
+        !findRawValue(header, "why", trace.untraceableWhy) ||
+        !findU64(header, "setupOps", setupOps) ||
+        !findU64(header, "ops", ops))
+        return false;
+    trace.n = n;
+    trace.seed = seed;
+    trace.iterations = static_cast<std::uint32_t>(iterations);
+    trace.procs = static_cast<std::uint32_t>(procs);
+    trace.replayable = replayable == "true";
+    if (trace.procs == 0 || trace.procs > mem::kMaxNodes)
+        return false;
+
+    // Phase names: re-scan the raw array (values are escaped strings).
+    trace.phaseNames.clear();
+    {
+        const std::string needle = "\"phases\":[";
+        const std::size_t at = header.find(needle);
+        if (at == std::string::npos)
+            return false;
+        std::size_t i = at + needle.size();
+        while (i < header.size() && header[i] != ']') {
+            if (header[i] == ',') {
+                ++i;
+                continue;
+            }
+            if (header[i] != '"')
+                return false;
+            std::string sub = header.substr(i);
+            std::string name;
+            if (!findRawValue("\"x\":" + sub, "x", name))
+                return false;
+            trace.phaseNames.push_back(name);
+            // Skip past the string we just consumed (escaped length).
+            std::size_t depth = i + 1;
+            while (depth < header.size()) {
+                if (header[depth] == '\\')
+                    depth += 2;
+                else if (header[depth] == '"')
+                    break;
+                else
+                    ++depth;
+            }
+            i = depth + 1;
+        }
+        if (trace.phaseNames.empty() || trace.phaseNames[0] != "main")
+            return false;
+    }
+
+    std::size_t at = nl + 1;
+    trace.setup.reserve(setupOps);
+    for (std::uint64_t i = 0; i < setupOps; ++i) {
+        if (at >= body.size())
+            return false;
+        SetupOp op;
+        op.kind = static_cast<std::uint8_t>(body[at++]);
+        if (op.kind > SetupOp::InitValue)
+            return false;
+        if (!getVarint(body, at, op.a) || !getVarint(body, at, op.b) ||
+            !getVarint(body, at, op.c) || !getVarint(body, at, op.d))
+            return false;
+        trace.setup.push_back(op);
+    }
+    trace.streams.resize(trace.procs);
+    std::uint64_t totalOps = 0;
+    for (std::uint32_t p = 0; p < trace.procs; ++p) {
+        std::uint64_t count = 0;
+        if (!getVarint(body, at, count))
+            return false;
+        std::vector<Op> &stream = trace.streams[p];
+        stream.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            if (at + 2 > body.size())
+                return false;
+            Op op;
+            const std::uint8_t kind = static_cast<std::uint8_t>(body[at++]);
+            if (kind >= kOpKinds)
+                return false;
+            op.kind = static_cast<OpKind>(kind);
+            op.bytes = static_cast<std::uint8_t>(body[at++]);
+            std::uint64_t aux = 0;
+            if (!getVarint(body, at, aux) ||
+                !getVarint(body, at, op.addr) ||
+                !getVarint(body, at, op.value))
+                return false;
+            op.aux = static_cast<std::uint32_t>(aux);
+            if (op.kind == OpKind::Phase &&
+                op.aux >= trace.phaseNames.size())
+                return false;
+            stream.push_back(op);
+        }
+        totalOps += count;
+    }
+    if (at != body.size() || totalOps != ops)
+        return false;
+
+    out = std::move(trace);
+    return true;
+}
+
+} // namespace absim::trace

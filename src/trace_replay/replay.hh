@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The fiber-free replay engine: feed a recorded reference stream (see
+ * format.hh) through any NetModel x MemModel composition of the
+ * registry and produce the same stats::Profile the execution-driven
+ * simulator would — bit-identical, by mirroring the real engine's event
+ * schedule one to one.
+ *
+ * Why it is exact: the execution-driven simulator's entire global
+ * behaviour flows through a handful of blocking primitives (delayUntil,
+ * FifoMutex hand-off, Latch, detached helper start), each of which
+ * schedules exactly one engine event.  The replay interprets the same
+ * per-processor operation sequences, re-executes the same machine
+ * transaction logic at the same (tick, seq) dispatch points, and
+ * regenerates machine-dependent traffic (cache misses, synchronization
+ * spins, RMW results) from replayed state rather than the recording
+ * machine's.  By induction over the dispatch order, every event lands
+ * at the same tick with the same sequence number as in execution, so
+ * every timing split — and therefore every figure byte — matches.
+ * What replay skips is exactly what costs execution its wall time: the
+ * applications' native computation, fiber switches, and the invariant
+ * checkers.  Tests pin this equivalence per machine (including
+ * Profile::engineEvents, the event-count fingerprint).
+ *
+ * Limits: message-passing runs are recorded as non-replayable (replay
+ * falls back to execution), and a trace records one workload — apps
+ * whose *reference pattern* (not just timing) depends on the machine
+ * would diverge; docs/TRACING.md discusses why the paper's suite is
+ * safe (the one machine-dependent idiom, writes indexed by fetch&add
+ * results, is re-derived at replay via DepWrite).
+ */
+
+#ifndef ABSIM_TRACE_REPLAY_REPLAY_HH
+#define ABSIM_TRACE_REPLAY_REPLAY_HH
+
+#include <stdexcept>
+
+#include "logp/gate.hh"
+#include "machines/machine.hh"
+#include "net/topology.hh"
+#include "stats/overheads.hh"
+#include "trace_replay/format.hh"
+
+namespace absim::trace {
+
+/** The machine half of a core::RunConfig (the workload half is the
+ *  trace itself). */
+struct ReplaySpec
+{
+    mach::MachineKind machine = mach::MachineKind::Target;
+    net::TopologyKind topology = net::TopologyKind::Full;
+    logp::GapPolicy gapPolicy = logp::GapPolicy::Single;
+    mach::CacheConfig cache;
+    mach::ProtocolKind protocol = mach::ProtocolKind::Berkeley;
+};
+
+/** A trace that cannot be replayed (wrong shape, non-replayable flag,
+ *  layout mismatch) or a replay that deadlocked. */
+class ReplayError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Replay @p trace on the machine described by @p spec.
+ *
+ * @return The profile the execution-driven run would produce (all
+ *         simulated quantities identical; wallSeconds is this replay's
+ *         own host cost and engineEvents the mirrored event count).
+ * @throws ReplayError as above.
+ */
+stats::Profile replayTrace(const Trace &trace, const ReplaySpec &spec);
+
+} // namespace absim::trace
+
+#endif // ABSIM_TRACE_REPLAY_REPLAY_HH

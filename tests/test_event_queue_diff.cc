@@ -15,12 +15,14 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "check/check.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
@@ -29,6 +31,8 @@ namespace {
 using absim::sim::EventQueue;
 using absim::sim::Rng;
 using absim::sim::Tick;
+
+namespace check = absim::check;
 
 /// One dispatched event in an execution log: (tick, event id).
 using LogEntry = std::pair<Tick, std::uint64_t>;
@@ -280,6 +284,170 @@ TEST(EventQueueDiff, RunUntilWindowsMatchReference)
     }
     EXPECT_TRUE(ref.queue.empty());
     expectSameLogs(real.log, ref.log);
+}
+
+// ---------------------------------------------------------------------------
+// Calendar-window edge suite.
+//
+// These tests pin the exact seams of the two-tier structure: the
+// window re-base boundary, the bucket/overflow-heap crossover for
+// same-tick FIFO ties, and far-past events (legal with causality
+// checks off) arriving after the window has re-based beyond them.
+// The window width mirrors EventQueue::kBuckets (private); if the
+// calendar is ever resized these tests must move with it.
+// ---------------------------------------------------------------------------
+
+constexpr Tick kWindow = 4096;
+
+TEST(EventQueueDiff, RebaseBoundaryTickDispatchesInOrder)
+{
+    // Events at kWindow-1 (last bucket of the initial window), kWindow
+    // (first overflow tick), and kWindow+1.  Draining the calendar
+    // must re-base the window onto the overflow front and pull the
+    // boundary events across without reordering; while dispatching at
+    // the boundary, newly scheduled events land on both sides of the
+    // *new* window limit.
+    EventQueue eq;
+    std::vector<LogEntry> log;
+    const auto note = [&log, &eq](std::uint64_t id) {
+        log.emplace_back(eq.now(), id);
+    };
+    eq.schedule(kWindow - 1, [&] {
+        note(0);
+        // New window after re-base is [kWindow, 2*kWindow): one event
+        // in its last bucket, one just past its limit.
+        eq.schedule(2 * kWindow - 1, [&] { note(4); });
+        eq.schedule(2 * kWindow, [&] { note(5); });
+    });
+    eq.schedule(kWindow, [&] { note(1); });
+    eq.schedule(kWindow, [&] { note(2); }); // Same-tick tie at boundary.
+    eq.schedule(kWindow + 1, [&] { note(3); });
+    eq.run();
+
+    const std::vector<LogEntry> expect{
+        {kWindow - 1, 0}, {kWindow, 1},        {kWindow, 2},
+        {kWindow + 1, 3}, {2 * kWindow - 1, 4}, {2 * kWindow, 5}};
+    EXPECT_EQ(log, expect);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueueDiff, SameTickFifoAcrossBucketOverflowSeam)
+{
+    // Five events at the same tick T reach the queue through both
+    // tiers: ids 0-2 are scheduled while T is beyond the window limit
+    // (overflow heap), the window then re-bases so T is bucketed, and
+    // ids 3-4 are scheduled straight into T's bucket.  FIFO order must
+    // hold across the seam: the heap drains same-tick events in seq
+    // order ahead of any new bucket appends.
+    constexpr Tick kT = 5000;
+    EventQueue eq;
+    std::vector<std::uint64_t> order;
+    eq.schedule(kT, [&] { order.push_back(0); }); // Overflow (T >= 4096).
+    eq.schedule(kT, [&] { order.push_back(1); });
+    eq.schedule(10, [&] {
+        eq.schedule(kT, [&] { order.push_back(2); }); // Still overflow.
+    });
+    // Dispatched at 4500 *after* the re-base put kT inside the window,
+    // so these two append directly to the bucket behind ids 0-2.
+    eq.schedule(4500, [&] {
+        eq.schedule(kT, [&] { order.push_back(3); });
+        eq.schedule(kT, [&] { order.push_back(4); });
+    });
+    eq.run();
+    EXPECT_EQ(order,
+              (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueDiff, FarPastEventsAfterRebaseMatchReference)
+{
+    // With causality checks off (a legal configuration: trace replay
+    // and some fault-injection harnesses schedule behind the clock),
+    // past-dated events must ride the overflow heap — bucketing them
+    // would hide them behind the circular scan start — and still
+    // dispatch in global (tick, seq) order.  The scenario forces the
+    // nasty case: the window has re-based far beyond the past tick
+    // before the past event is scheduled, and popNext must not re-base
+    // backwards onto it.
+    check::State relaxed;
+    relaxed.options.causality = false;
+    check::ScopedState scope(relaxed);
+
+    EventQueue eq;
+    std::vector<LogEntry> log;
+    const auto note = [&log, &eq](std::uint64_t id) {
+        log.emplace_back(eq.now(), id);
+    };
+    eq.schedule(20'000, [&] { // Window long since re-based past 5.
+        note(0);
+        eq.schedule(5, [&] { note(1); });     // Far past.
+        eq.schedule(5, [&] { note(2); });     // Same-tick past tie.
+        eq.schedule(19'000, [&] { note(3); }); // Past, below windowBase.
+        eq.schedule(20'001, [&] { note(4); }); // Normal future event.
+    });
+    eq.schedule(30'000, [&] { note(5); });
+    eq.run();
+
+    // The clock runs backwards to serve the past events, then forward
+    // again; order is global (tick, seq) exactly as the reference heap
+    // would produce.
+    const std::vector<LogEntry> expect{{20'000, 0}, {5, 1},
+                                       {5, 2},      {19'000, 3},
+                                       {20'001, 4}, {30'000, 5}};
+    EXPECT_EQ(log, expect);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.dispatched(), expect.size());
+}
+
+TEST(EventQueueDiff, WindowStraddlingWorkloadMatchesReference)
+{
+    // Adversarial differential run: every child delta lands within a
+    // few ticks of the kWindow boundary (just inside, exactly at, just
+    // past), so nearly every dispatch stresses the enqueue-side
+    // window test and the drain-side re-base.  The generic mixed
+    // workload rarely concentrates here; this one does nothing else.
+    constexpr std::uint64_t kEvents = 50'000;
+    constexpr std::uint64_t kSeed = 0xB0DE;
+
+    EventQueue eq;
+    std::vector<LogEntry> real_log;
+    std::uint64_t next_id = 0;
+    std::function<void(std::uint64_t)> dispatch =
+        [&](std::uint64_t id) {
+            real_log.emplace_back(eq.now(), id);
+            Rng rng(kSeed ^ (id * 0x9e3779b97f4a7c15ULL));
+            for (std::uint64_t c = 0; c < 2; ++c)
+                if (next_id < kEvents) {
+                    const std::uint64_t child = next_id++;
+                    const Tick when =
+                        eq.now() + kWindow - 2 + rng.below(5);
+                    eq.schedule(when,
+                                [&dispatch, child] { dispatch(child); });
+                }
+        };
+    {
+        const std::uint64_t root = next_id++;
+        eq.schedule(0, [&dispatch, root] { dispatch(root); });
+    }
+    eq.run();
+
+    // Reference heap replaying the identical derivation rule.
+    RefRun ref{kSeed, kEvents};
+    std::vector<LogEntry> ref_log;
+    {
+        ref.spawn(0);
+        while (!ref.queue.empty()) {
+            const auto ev = ref.queue.top();
+            ref.queue.pop();
+            ref.now = ev.when;
+            ref_log.emplace_back(ev.when, ev.id);
+            Rng rng(kSeed ^ (ev.id * 0x9e3779b97f4a7c15ULL));
+            for (std::uint64_t c = 0; c < 2; ++c)
+                if (ref.nextId < kEvents)
+                    ref.spawn(ref.now + kWindow - 2 + rng.below(5));
+        }
+    }
+    EXPECT_EQ(real_log.size(), kEvents);
+    expectSameLogs(real_log, ref_log);
 }
 
 } // namespace

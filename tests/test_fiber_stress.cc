@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -88,6 +90,59 @@ TEST(FiberStress, DetachedHelpersInterleaveWithOwnedProcesses)
     eq.run();
     EXPECT_EQ(helpers_done, 200);
     EXPECT_EQ(last_tick, 2000u);
+}
+
+TEST(FiberStress, ThreadChurnLeavesCleanStacks)
+{
+    // Worker threads build and tear down their thread-local stack
+    // pools repeatedly, covering every recycle path: pooled reuse,
+    // drops past the pool cap, odd-sized one-offs, and the pool
+    // destructor at thread exit.  Under the sanitizer build this is
+    // the regression test for stale ASan shadow on fiber stacks — a
+    // stack freed or retired while still poisoned trips ASan when the
+    // allocator (or a later thread) reuses those addresses.
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 3;
+    std::atomic<int> completed{0};
+    for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&completed] {
+                // More live fibers than kMaxPooled, so destruction
+                // overflows the pool and exercises the drop path.
+                {
+                    std::vector<std::unique_ptr<Fiber>> herd;
+                    for (std::size_t i = 0;
+                         i < FiberStackPool::kMaxPooled + 8; ++i) {
+                        herd.push_back(std::make_unique<Fiber>(
+                            [&completed] { ++completed; }));
+                        herd.back()->resume();
+                    }
+                }
+                // Odd-sized stacks are never pooled: the recycle path
+                // must still scrub them before the free.
+                for (int i = 0; i < 4; ++i) {
+                    Fiber odd([&completed] { ++completed; },
+                              96 * 1024);
+                    odd.resume();
+                }
+                // An engine run on this thread reuses pooled stacks.
+                EventQueue eq;
+                Process p(eq, "churn", [&completed] {
+                    Process::current()->delay(1);
+                    ++completed;
+                });
+                p.start(0);
+                eq.run();
+            }); // Thread exit destroys the thread-local pool.
+        }
+        for (std::thread &th : threads)
+            th.join();
+    }
+    EXPECT_EQ(completed.load(),
+              kRounds * kThreads *
+                  static_cast<int>(FiberStackPool::kMaxPooled + 8 + 4 +
+                                   1));
 }
 
 TEST(FiberStress, NestedResumeFromSchedulerOnly)

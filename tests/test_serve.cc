@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/cache_key.hh"
+#include "core/journal.hh"
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
 #include "serve/service.hh"
@@ -130,6 +131,58 @@ TEST(ServeProtocol, ExtractNumberFindsFieldsInPayloads)
     ASSERT_TRUE(serve::extractNumber(payload, "latency", value));
     EXPECT_EQ(value, 432.8);
     EXPECT_FALSE(serve::extractNumber(payload, "contention", value));
+}
+
+TEST(ServeProtocol, HostileTraceExcerptStaysValidLineJson)
+{
+    // A captured sim-trace excerpt is attacker-shaped data as far as
+    // the wire format is concerned: trace lines carry quotes around
+    // process names, backslashes in paths, embedded newlines between
+    // events, and (on a corrupted run) arbitrary control bytes.  Every
+    // embedding site must route it through core::jsonEscape; this pins
+    // the error-response site with the worst excerpt we can build.
+    const std::string hostile =
+        "[12] \"worker-3\" send p0 -> p1 via C:\\mesh\\link\n"
+        "[15] recv {\"torn\":true}\r\n"
+        "\ttail with controls: \x01\x1f and a lone \\";
+    const std::string resp =
+        serve::errorResponse("run", "Deadlock", hostile, 2, hostile);
+
+    // One line on the wire: no raw newline or control byte survives.
+    for (const unsigned char c : resp)
+        EXPECT_GE(c, 0x20u) << "raw control byte in response";
+
+    // The line must parse in the daemon's own dialect and round-trip
+    // the excerpt byte-exactly through the unescaper.
+    std::vector<serve::JsonField> fields;
+    ASSERT_TRUE(serve::parseFlatJson(resp, fields));
+    std::string message;
+    std::string trace;
+    for (const serve::JsonField &f : fields) {
+        if (f.key == "message")
+            message = f.value;
+        if (f.key == "trace")
+            trace = f.value;
+    }
+    EXPECT_EQ(message, hostile);
+    EXPECT_EQ(trace, hostile);
+
+    // Same property for the journal failure record that persists the
+    // excerpt (the other embedding site the wire shares its dialect
+    // with).
+    core::JournalRecord failure;
+    failure.procs = 8;
+    failure.failed = true;
+    failure.machine = "target";
+    failure.error = "Deadlock";
+    failure.message = hostile;
+    failure.trace = hostile;
+    const std::string line = core::encodeRecord(failure);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    core::JournalRecord out;
+    ASSERT_TRUE(core::decodeRecord(line, out));
+    EXPECT_EQ(out.message, hostile);
+    EXPECT_EQ(out.trace, hostile);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * The trace capture & replay equivalence suite: a recorded reference
+ * stream replayed through any machine must produce the profile the
+ * execution-driven simulator produces — bit-identical, including the
+ * engine event count (the schedule fingerprint).  Plus the durability
+ * contract of the trace store (torn/corrupt files are cache misses,
+ * record-on-miss self-primes) and the divergence-report arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/experiment.hh"
+#include "core/figures.hh"
+#include "machines/null_machine.hh"
+#include "msg/msg_world.hh"
+#include "runtime/context.hh"
+#include "stats/overheads.hh"
+#include "trace_replay/divergence.hh"
+#include "trace_replay/format.hh"
+#include "trace_replay/recorder.hh"
+#include "trace_replay/replay.hh"
+
+namespace {
+
+using namespace absim;
+
+class TempTraceDir
+{
+  public:
+    TempTraceDir()
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("absim-trace-test-" +
+                std::to_string(::getpid()) + "-" +
+                std::to_string(counter_++));
+        std::filesystem::create_directories(dir_);
+    }
+
+    ~TempTraceDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string path() const { return dir_.string(); }
+
+  private:
+    static inline int counter_ = 0;
+    std::filesystem::path dir_;
+};
+
+/** Every simulated quantity must match; wallSeconds is host time. */
+void
+expectProfilesEqual(const stats::Profile &exec, const stats::Profile &rep,
+                    const std::string &what)
+{
+    SCOPED_TRACE(what);
+    ASSERT_EQ(exec.procs.size(), rep.procs.size());
+    for (std::size_t i = 0; i < exec.procs.size(); ++i) {
+        SCOPED_TRACE("proc " + std::to_string(i));
+        const stats::ProcStats &e = exec.procs[i];
+        const stats::ProcStats &r = rep.procs[i];
+        EXPECT_EQ(e.busy, r.busy);
+        EXPECT_EQ(e.latency, r.latency);
+        EXPECT_EQ(e.contention, r.contention);
+        EXPECT_EQ(e.wait, r.wait);
+        EXPECT_EQ(e.accesses, r.accesses);
+        EXPECT_EQ(e.networkAccesses, r.networkAccesses);
+        EXPECT_EQ(e.finishTime, r.finishTime);
+    }
+    ASSERT_EQ(exec.procPhases.size(), rep.procPhases.size());
+    for (std::size_t i = 0; i < exec.procPhases.size(); ++i) {
+        ASSERT_EQ(exec.procPhases[i].size(), rep.procPhases[i].size())
+            << "proc " << i;
+        for (std::size_t p = 0; p < exec.procPhases[i].size(); ++p) {
+            SCOPED_TRACE("proc " + std::to_string(i) + " phase " +
+                         std::to_string(p));
+            const stats::PhaseStats &e = exec.procPhases[i][p];
+            const stats::PhaseStats &r = rep.procPhases[i][p];
+            EXPECT_EQ(e.name, r.name);
+            EXPECT_EQ(e.busy, r.busy);
+            EXPECT_EQ(e.latency, r.latency);
+            EXPECT_EQ(e.contention, r.contention);
+            EXPECT_EQ(e.wait, r.wait);
+        }
+    }
+    for (std::uint32_t b = 0; b < stats::Histogram::kBuckets; ++b)
+        EXPECT_EQ(exec.remoteLatency.count(b), rep.remoteLatency.count(b))
+            << "histogram bucket " << b;
+    EXPECT_EQ(exec.remoteLatency.samples(), rep.remoteLatency.samples());
+    EXPECT_EQ(exec.remoteLatency.max(), rep.remoteLatency.max());
+
+    EXPECT_EQ(exec.machine.accesses, rep.machine.accesses);
+    EXPECT_EQ(exec.machine.cacheHits, rep.machine.cacheHits);
+    EXPECT_EQ(exec.machine.localMem, rep.machine.localMem);
+    EXPECT_EQ(exec.machine.networkAccesses, rep.machine.networkAccesses);
+    EXPECT_EQ(exec.machine.messages, rep.machine.messages);
+    EXPECT_EQ(exec.machine.readMisses, rep.machine.readMisses);
+    EXPECT_EQ(exec.machine.writeMisses, rep.machine.writeMisses);
+    EXPECT_EQ(exec.machine.upgrades, rep.machine.upgrades);
+    EXPECT_EQ(exec.machine.invalidations, rep.machine.invalidations);
+    EXPECT_EQ(exec.machine.writebacks, rep.machine.writebacks);
+    EXPECT_EQ(exec.machine.memTime, rep.machine.memTime);
+
+    EXPECT_EQ(exec.netModel, rep.netModel);
+    EXPECT_EQ(exec.memModel, rep.memModel);
+    EXPECT_EQ(exec.engineEvents, rep.engineEvents)
+        << "event-schedule fingerprint diverged";
+}
+
+core::RunConfig
+smallConfig(const std::string &app, std::uint64_t n, std::uint32_t procs,
+            mach::MachineKind machine)
+{
+    core::RunConfig config;
+    config.app = app;
+    config.params.n = n;
+    config.params.seed = 4242;
+    config.machine = machine;
+    config.topology = net::TopologyKind::Mesh2D;
+    config.procs = procs;
+    return config;
+}
+
+constexpr mach::MachineKind kAllMachines[] = {
+    mach::MachineKind::Target, mach::MachineKind::LogP,
+    mach::MachineKind::LogPC, mach::MachineKind::TargetIC,
+    mach::MachineKind::LogPDir,
+};
+
+/** Record on one run, replay the trace, expect identical profiles. */
+void
+roundTrip(const std::string &app, std::uint64_t n, std::uint32_t procs,
+          mach::MachineKind machine)
+{
+    TempTraceDir dir;
+    core::RunConfig config = smallConfig(app, n, procs, machine);
+    config.mode = core::RunMode::Record;
+    config.traceDir = dir.path();
+    const stats::Profile exec = core::runOne(config);
+
+    trace::Trace recorded;
+    ASSERT_TRUE(trace::loadTrace(
+        dir.path() + "/" +
+            trace::traceFileName(config.app, config.params, config.procs),
+        recorded));
+    ASSERT_TRUE(recorded.replayable) << recorded.untraceableWhy;
+
+    trace::ReplaySpec spec;
+    spec.machine = config.machine;
+    spec.topology = config.topology;
+    spec.gapPolicy = config.gapPolicy;
+    spec.cache = config.cache;
+    spec.protocol = config.protocol;
+    const stats::Profile rep = trace::replayTrace(recorded, spec);
+
+    expectProfilesEqual(exec, rep,
+                        app + " x " + mach::toString(machine) + " x p" +
+                            std::to_string(procs));
+}
+
+TEST(TraceReplay, EpMatchesExecutionOnEveryMachine)
+{
+    for (const mach::MachineKind machine : kAllMachines)
+        roundTrip("ep", 2048, 4, machine);
+}
+
+TEST(TraceReplay, IsMatchesExecutionOnEveryMachine)
+{
+    for (const mach::MachineKind machine : kAllMachines)
+        roundTrip("is", 1024, 4, machine);
+}
+
+TEST(TraceReplay, SyncHeavyAppsMatchExecution)
+{
+    // Stencil (barriers every sweep) and CG (locks + reductions)
+    // exercise the regenerated synchronization algorithms.
+    roundTrip("stencil", 64, 4, mach::MachineKind::Target);
+    roundTrip("cg", 64, 4, mach::MachineKind::Target);
+    roundTrip("stencil", 64, 4, mach::MachineKind::LogPC);
+    roundTrip("cg", 64, 4, mach::MachineKind::LogP);
+}
+
+TEST(TraceReplay, EightProcessorsMatch)
+{
+    roundTrip("ep", 2048, 8, mach::MachineKind::Target);
+    roundTrip("is", 1024, 8, mach::MachineKind::LogPDir);
+}
+
+TEST(TraceReplay, TraceIsMachineIndependent)
+{
+    // One trace recorded under Target replays correctly on every other
+    // machine: against each, the replayed profile equals that machine's
+    // own execution-driven profile.
+    TempTraceDir dir;
+    core::RunConfig config =
+        smallConfig("is", 1024, 4, mach::MachineKind::Target);
+    config.mode = core::RunMode::Record;
+    config.traceDir = dir.path();
+    core::runOne(config);
+
+    trace::Trace recorded;
+    ASSERT_TRUE(trace::loadTrace(
+        dir.path() + "/" +
+            trace::traceFileName(config.app, config.params, config.procs),
+        recorded));
+
+    for (const mach::MachineKind machine : kAllMachines) {
+        core::RunConfig exec_config = config;
+        exec_config.mode = core::RunMode::Execute;
+        exec_config.machine = machine;
+        const stats::Profile exec = core::runOne(exec_config);
+
+        trace::ReplaySpec spec;
+        spec.machine = machine;
+        spec.topology = config.topology;
+        const stats::Profile rep = trace::replayTrace(recorded, spec);
+        expectProfilesEqual(exec, rep,
+                            "target-recorded trace on " +
+                                mach::toString(machine));
+    }
+}
+
+TEST(TraceReplay, RecordOnMissThenReplayHit)
+{
+    TempTraceDir dir;
+    core::RunConfig config =
+        smallConfig("ep", 2048, 4, mach::MachineKind::LogPC);
+    const stats::Profile exec = core::runOne(config);
+
+    config.mode = core::RunMode::Replay;
+    config.traceDir = dir.path();
+    // First call misses: executes, records, returns the executed
+    // profile.
+    const stats::Profile first = core::runOne(config);
+    expectProfilesEqual(exec, first, "record-on-miss execution");
+    const std::string path =
+        dir.path() + "/" +
+        trace::traceFileName(config.app, config.params, config.procs);
+    EXPECT_TRUE(std::filesystem::exists(path));
+
+    // Second call replays the recorded trace.
+    const stats::Profile second = core::runOne(config);
+    expectProfilesEqual(exec, second, "replay hit");
+}
+
+TEST(TraceReplay, TornTraceFileIsACacheMiss)
+{
+    TempTraceDir dir;
+    core::RunConfig config =
+        smallConfig("ep", 2048, 4, mach::MachineKind::LogPC);
+    config.mode = core::RunMode::Record;
+    config.traceDir = dir.path();
+    const stats::Profile exec = core::runOne(config);
+
+    const std::string path =
+        dir.path() + "/" +
+        trace::traceFileName(config.app, config.params, config.procs);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Truncate: simulates a crash mid-write that bypassed the atomic
+    // rename (e.g. a torn copy).  Must load as false, never garbage.
+    const auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full / 2);
+    trace::Trace torn;
+    EXPECT_FALSE(trace::loadTrace(path, torn));
+
+    // And the driver treats it as a miss: re-executes and re-records.
+    config.mode = core::RunMode::Replay;
+    const stats::Profile healed = core::runOne(config);
+    expectProfilesEqual(exec, healed, "torn-file record-on-miss");
+    trace::Trace reloaded;
+    EXPECT_TRUE(trace::loadTrace(path, reloaded));
+
+    // Corrupt one body byte: the checksum catches it.
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(full / 2));
+        const char byte = 0x7f;
+        f.write(&byte, 1);
+    }
+    trace::Trace corrupt;
+    EXPECT_FALSE(trace::loadTrace(path, corrupt));
+}
+
+TEST(TraceReplay, FormatRoundTripPreservesEverything)
+{
+    TempTraceDir dir;
+    core::RunConfig config =
+        smallConfig("is", 1024, 4, mach::MachineKind::Target);
+    config.mode = core::RunMode::Record;
+    config.traceDir = dir.path();
+    core::runOne(config);
+
+    const std::string path =
+        dir.path() + "/" +
+        trace::traceFileName(config.app, config.params, config.procs);
+    trace::Trace a;
+    ASSERT_TRUE(trace::loadTrace(path, a));
+
+    // Save the loaded trace again; the reload must be identical.
+    const std::string copy = dir.path() + "/copy.abt";
+    trace::saveTrace(a, copy);
+    trace::Trace b;
+    ASSERT_TRUE(trace::loadTrace(copy, b));
+
+    EXPECT_EQ(a.procs, b.procs);
+    EXPECT_EQ(a.replayable, b.replayable);
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.variant, b.variant);
+    EXPECT_EQ(a.phaseNames, b.phaseNames);
+    ASSERT_EQ(a.setup.size(), b.setup.size());
+    for (std::size_t i = 0; i < a.setup.size(); ++i)
+        EXPECT_TRUE(a.setup[i] == b.setup[i]) << "setup op " << i;
+    ASSERT_EQ(a.streams.size(), b.streams.size());
+    for (std::size_t p = 0; p < a.streams.size(); ++p) {
+        ASSERT_EQ(a.streams[p].size(), b.streams[p].size())
+            << "proc " << p;
+        for (std::size_t i = 0; i < a.streams[p].size(); ++i)
+            EXPECT_TRUE(a.streams[p][i] == b.streams[p][i])
+                << "proc " << p << " op " << i;
+    }
+}
+
+TEST(TraceReplay, MessagePassingRunsRecordAsNonReplayable)
+{
+    // Message-passing platforms run outside the shared-memory driver
+    // (null machine + transport + MsgWorld); a recorder observing such
+    // a run must mark the trace non-replayable at the first send/recv.
+    sim::EventQueue eq;
+    rt::SharedHeap heap(2);
+    mach::NullMachine machine(2, heap);
+    msg::LogPTransport transport(eq, net::TopologyKind::Full, 2);
+    msg::MsgWorld world(eq, transport, 2);
+    rt::Runtime runtime(eq, machine, 2);
+
+    trace::Recorder recorder(2);
+    heap.bindSink(&recorder);
+    runtime.bindSink(&recorder);
+    runtime.spawn([&world](rt::Proc &p) {
+        if (p.node() == 0)
+            world.sendValue<std::uint64_t>(p, 1, 7, 0xABCD);
+        else
+            world.recvValue<std::uint64_t>(p, 0, 7);
+    });
+    runtime.run();
+
+    apps::AppParams params;
+    const trace::Trace recorded = recorder.take("msg-smoke", params);
+    EXPECT_FALSE(recorded.replayable);
+    EXPECT_FALSE(recorded.untraceableWhy.empty());
+    trace::ReplaySpec spec;
+    EXPECT_THROW(trace::replayTrace(recorded, spec), trace::ReplayError);
+
+    // And a non-replayable trace in the store makes Replay mode fall
+    // back to plain execution (exercised through saveTrace/loadTrace).
+    TempTraceDir dir;
+    trace::saveTrace(recorded, dir.path() + "/fallback.abt");
+    trace::Trace reloaded;
+    ASSERT_TRUE(trace::loadTrace(dir.path() + "/fallback.abt", reloaded));
+    EXPECT_FALSE(reloaded.replayable);
+    EXPECT_EQ(reloaded.untraceableWhy, recorded.untraceableWhy);
+}
+
+TEST(TraceReplay, ReplaySpeedupIsReal)
+{
+    // The whole point: replay must be much cheaper than execution.
+    // This asserts only a conservative > 1x here (CI noise); the
+    // committed benchmark baseline pins the >= 10x sweep-level claim.
+    TempTraceDir dir;
+    core::RunConfig config =
+        smallConfig("ep", 65536, 8, mach::MachineKind::Target);
+    config.mode = core::RunMode::Record;
+    config.traceDir = dir.path();
+    const stats::Profile exec = core::runOne(config);
+
+    config.mode = core::RunMode::Replay;
+    const stats::Profile rep = core::runOne(config);
+    expectProfilesEqual(exec, rep, "speedup run equivalence");
+    EXPECT_LT(rep.wallSeconds, exec.wallSeconds);
+}
+
+TEST(TraceReplay, ReplayedFigureJsonIsByteIdentical)
+{
+    // The figure-level contract: a replayed sweep's JSON document is
+    // byte-for-byte the execution-driven one (EP and IS latency
+    // figures — the timing-feedback-negligible class).
+    for (const std::string app : {"ep", "is"}) {
+        TempTraceDir dir;
+        core::RunConfig base;
+        base.app = app;
+        base.params.n = app == "ep" ? 2048 : 1024;
+        base.params.seed = 4242;
+        const std::vector<std::uint32_t> procs = {2, 4, 8};
+        core::SweepOptions options;
+
+        const core::SweepResult exec = core::sweepFigureParallel(
+            "replay-pin " + app, base, net::TopologyKind::Full,
+            core::Metric::Latency, procs, options);
+        ASSERT_TRUE(exec.complete());
+
+        base.mode = core::RunMode::Replay;
+        base.traceDir = dir.path();
+        // First replay sweep records on miss, second replays from the
+        // trace store; both must serialize identically.
+        for (int round = 0; round < 2; ++round) {
+            const core::SweepResult rep = core::sweepFigureParallel(
+                "replay-pin " + app, base, net::TopologyKind::Full,
+                core::Metric::Latency, procs, options);
+            ASSERT_TRUE(rep.complete());
+            std::ostringstream exec_json;
+            std::ostringstream rep_json;
+            core::writeFigureJson(exec_json, exec);
+            core::writeFigureJson(rep_json, rep);
+            EXPECT_EQ(exec_json.str(), rep_json.str())
+                << app << " round " << round;
+
+            const trace::DivergenceReport report =
+                core::compareFigures(exec.figure, rep.figure);
+            EXPECT_TRUE(report.identical) << app << " round " << round;
+            EXPECT_EQ(report.points.size(), procs.size() * 3);
+        }
+    }
+}
+
+TEST(DivergenceReport, AggregatesAndSerializes)
+{
+    trace::DivergenceReport report;
+    report.figure = "fig16_radix_feedback";
+    report.metric = "total_time";
+    report.add("target", 4, 100.0, 100.0);
+    report.add("logpc", 4, 200.0, 190.0);
+    report.add("logp", 8, 0.0, 0.5); // Zero executed: epsilon guard.
+    report.finalize();
+
+    EXPECT_FALSE(report.identical);
+    EXPECT_DOUBLE_EQ(report.maxAbs, 10.0);
+    EXPECT_DOUBLE_EQ(report.meanAbs, 10.5 / 3.0);
+    // The zero-executed point's relative delta is huge but finite.
+    EXPECT_TRUE(std::isfinite(report.maxRel));
+    EXPECT_GT(report.maxRel, 1.0);
+
+    const std::string json = trace::toJson(report);
+    EXPECT_NE(json.find("\"format\":\"absim-divergence\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"identical\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"column\":\"logpc\""), std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+
+    trace::DivergenceReport clean;
+    clean.figure = "fig";
+    clean.metric = "m";
+    clean.add("target", 4, 7.0, 7.0);
+    clean.finalize();
+    EXPECT_TRUE(clean.identical);
+    EXPECT_DOUBLE_EQ(clean.maxAbs, 0.0);
+}
+
+} // namespace

@@ -136,13 +136,16 @@ ruleD1(const FileUnit &unit, std::vector<Diagnostic> &out)
 
 // ---------------------------------------------------------------- D2
 
-/** Files whose bytes end up in journals / figure JSON / CSV. */
+/** Files whose bytes end up in journals / figure JSON / CSV (or, for
+ *  trace_replay, in trace files and replayed profiles). */
 bool
 d2OutputPath(const std::string &path)
 {
     return startsWith(path, "src/core/") ||
            startsWith(path, "src/serve/") ||
-           startsWith(path, "src/stats/") || startsWith(path, "bench/");
+           startsWith(path, "src/stats/") ||
+           startsWith(path, "src/trace_replay/") ||
+           startsWith(path, "bench/");
 }
 
 /**
@@ -356,12 +359,15 @@ layerTable()
           "stats"}},
         {"msg", {"check", "logp", "mem", "net", "runtime", "sim"}},
         {"apps", {"check", "msg", "runtime", "sim", "stats"}},
+        {"trace_replay",
+         {"apps", "check", "fault", "logp", "machines", "mem", "net",
+          "runtime", "sim", "stats"}},
         {"core",
          {"apps", "check", "fault", "logp", "machines", "mem", "msg",
-          "net", "runtime", "sim", "stats"}},
+          "net", "runtime", "sim", "stats", "trace_replay"}},
         {"serve",
          {"apps", "check", "core", "fault", "logp", "machines", "mem",
-          "msg", "net", "runtime", "sim", "stats"}},
+          "msg", "net", "runtime", "sim", "stats", "trace_replay"}},
     };
     return kTable;
 }
